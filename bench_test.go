@@ -1,0 +1,293 @@
+package repro
+
+// Benchmark harness: one benchmark per paper artefact (figure /
+// quantitative claim), regenerating the corresponding table.  Each
+// bench prints its table once (so `go test -bench=.` reproduces the
+// whole evaluation) and then measures the underlying computation.
+//
+// Ablation benches at the bottom time the design alternatives called
+// out in DESIGN.md §6.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/lfsr"
+	"repro/internal/march"
+	"repro/internal/prt"
+	"repro/internal/ram"
+	"repro/internal/report"
+	"repro/internal/xorsynth"
+)
+
+var printOnce sync.Map
+
+func printTable(key string, build func() *report.Table) {
+	once, _ := printOnce.LoadOrStore(key, new(sync.Once))
+	once.(*sync.Once).Do(func() {
+		build().Render(os.Stdout)
+		fmt.Println()
+	})
+}
+
+// --- E1: Figure 1a ---
+
+func BenchmarkFig1aBOMPiIteration(b *testing.B) {
+	printTable("fig1a", func() *report.Table { return ExperimentFig1a(16) })
+	cfg := prt.PaperBOMConfig()
+	mem := ram.NewBOM(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prt.MustRunIteration(cfg, mem)
+	}
+}
+
+// --- E2: Figure 1b ---
+
+func BenchmarkFig1bWOMPiIteration(b *testing.B) {
+	printTable("fig1b", func() *report.Table { return ExperimentFig1b(257) })
+	cfg := prt.PaperWOMConfig()
+	mem := ram.NewWOM(257, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prt.MustRunIteration(cfg, mem)
+	}
+}
+
+// --- E3: Figure 2 ---
+
+func BenchmarkFig2DualPortPRT(b *testing.B) {
+	printTable("fig2", func() *report.Table { return ExperimentFig2([]int{64, 256, 1024}) })
+	cfg := prt.PaperWOMConfig()
+	dp := ram.NewDualPort(1024, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prt.RunDualPort(cfg, dp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: §3 single-cell coverage table ---
+
+func BenchmarkTableSingleCellCoverage(b *testing.B) {
+	printTable("e4", func() *report.Table { return ExperimentSingleCell(48) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentSingleCell(24)
+	}
+}
+
+// --- E5: §3 coupling coverage table ---
+
+func BenchmarkTableCouplingCoverage(b *testing.B) {
+	printTable("e5", func() *report.Table { return ExperimentCoupling(48) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentCoupling(16)
+	}
+}
+
+// --- E6: PRT vs March ---
+
+func BenchmarkTablePRTvsMarch(b *testing.B) {
+	printTable("e6", func() *report.Table { return ExperimentPRTvsMarch(48, 4) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentPRTvsMarch(16, 4)
+	}
+}
+
+// --- E7: §4 BIST overhead ---
+
+func BenchmarkTableBISTOverhead(b *testing.B) {
+	printTable("e7", func() *report.Table { return ExperimentBISTOverhead() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentBISTOverhead()
+	}
+}
+
+// --- E8: §3 Markov resolution ---
+
+func BenchmarkTableMarkovResolution(b *testing.B) {
+	printTable("e8", func() *report.Table { return ExperimentMarkov() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentMarkov()
+	}
+}
+
+// --- E9: §2 intra-word, parallel vs random lanes ---
+
+func BenchmarkTableIntraWord(b *testing.B) {
+	printTable("e9", func() *report.Table { return ExperimentIntraWord(32, 4) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentIntraWord(8, 4)
+	}
+}
+
+// --- E10: §3 quality factors ---
+
+func BenchmarkTableQualityFactors(b *testing.B) {
+	printTable("e10", func() *report.Table { return ExperimentQualityFactors(48) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentQualityFactors(16)
+	}
+}
+
+// --- E11: §2 multiplier synthesis ---
+
+func BenchmarkTableMultiplierSynthesis(b *testing.B) {
+	printTable("e11", func() *report.Table { return ExperimentMultiplierSynthesis() })
+	f := gf.NewField(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = xorsynth.SurveyField(f)
+	}
+}
+
+// --- E12: extension — NPSF coverage ---
+
+func BenchmarkTableNPSF(b *testing.B) {
+	printTable("e12", func() *report.Table { return ExperimentNPSF(64, 8) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentNPSF(16, 4)
+	}
+}
+
+// --- E13: extension — data retention ---
+
+func BenchmarkTableRetention(b *testing.B) {
+	printTable("e13", func() *report.Table { return ExperimentRetention(48) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentRetention(16)
+	}
+}
+
+// --- ablation benches (DESIGN.md §6) ---
+
+// BenchmarkGFMulStrategies compares the log/antilog-table multiply with
+// the shift-and-add fallback.
+func BenchmarkGFMulStrategies(b *testing.B) {
+	f := gf.NewField(8)
+	b.Run("table", func(b *testing.B) {
+		var acc gf.Elem = 1
+		for i := 0; i < b.N; i++ {
+			acc = f.Mul(acc|1, 0x53)
+		}
+		sink = uint64(acc)
+	})
+	b.Run("shift-add", func(b *testing.B) {
+		var acc gf.Elem = 1
+		for i := 0; i < b.N; i++ {
+			acc = f.MulNoTable(acc|1, 0x53)
+		}
+		sink = uint64(acc)
+	})
+}
+
+// BenchmarkLFSRForms compares Fibonacci and Galois bit-LFSR stepping.
+func BenchmarkLFSRForms(b *testing.B) {
+	for _, form := range []lfsr.Form{lfsr.Fibonacci, lfsr.Galois} {
+		b.Run(form.String(), func(b *testing.B) {
+			reg := lfsr.MustBit(0x11D, form, 1)
+			for i := 0; i < b.N; i++ {
+				reg.Step()
+			}
+			sink = reg.State()
+		})
+	}
+}
+
+// BenchmarkPiIterationThroughput measures cells/second of the walk
+// itself across memory sizes.
+func BenchmarkPiIterationThroughput(b *testing.B) {
+	for _, n := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := prt.PaperWOMConfig()
+			mem := ram.NewWOM(n, 4)
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				prt.MustRunIteration(cfg, mem)
+			}
+		})
+	}
+}
+
+// BenchmarkMarchAlgorithms times the baseline March library.
+func BenchmarkMarchAlgorithms(b *testing.B) {
+	for _, t := range []march.Test{march.MATSPlus(), march.MarchCMinus(), march.MarchB()} {
+		b.Run(t.Name, func(b *testing.B) {
+			mem := ram.NewBOM(4096)
+			for i := 0; i < b.N; i++ {
+				_ = march.Run(t, mem, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkCSESynthesis times multiplier synthesis with and without
+// common-subexpression elimination.
+func BenchmarkCSESynthesis(b *testing.B) {
+	f := gf.NewField(8)
+	m := f.ConstMulMatrix(0xB7)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = uint64(xorsynth.Naive(m).GateCount())
+		}
+	})
+	b.Run("cse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = uint64(xorsynth.CSE(m).GateCount())
+		}
+	})
+}
+
+// BenchmarkSignatureVsVerify compares the per-run cost of the paper's
+// pure signature scheme with the verify/capture-augmented scheme.
+func BenchmarkSignatureVsVerify(b *testing.B) {
+	gen := prt.PaperWOMConfig().Gen
+	full := prt.StandardScheme3(gen)
+	sig := full.SignatureOnly()
+	mem := ram.NewWOM(4096, 4)
+	b.Run("signature", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = sig.MustRun(mem)
+		}
+	})
+	b.Run("verify+capture", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = full.MustRun(mem)
+		}
+	})
+}
+
+var sink uint64
+
+// --- E14: ablation — ring vs plain iterations ---
+
+func BenchmarkTableRingMode(b *testing.B) {
+	printTable("e14", func() *report.Table { return ExperimentRingMode([]int{64, 255, 257}) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentRingMode([]int{32})
+	}
+}
+
+// --- E15: ablation — MISR-compressed verify ---
+
+func BenchmarkTableMISRCompression(b *testing.B) {
+	printTable("e15", func() *report.Table { return ExperimentMISR(64) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentMISR(24)
+	}
+}

@@ -1,0 +1,69 @@
+// Command faultcov regenerates the paper's evaluation: every figure
+// and quantitative claim as a table (the same output as
+// `go test -bench=.` produces, without the timing).
+//
+// Usage:
+//
+//	faultcov            # all experiments
+//	faultcov -exp e6    # one experiment (fig1a,fig1b,fig2,e4..e11)
+//	faultcov -csv       # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig1a, fig1b, fig2, e4…e11 or all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	byID := map[string]func() *report.Table{
+		"fig1a": func() *report.Table { return repro.ExperimentFig1a(16) },
+		"fig1b": func() *report.Table { return repro.ExperimentFig1b(257) },
+		"fig2":  func() *report.Table { return repro.ExperimentFig2([]int{64, 256, 1024}) },
+		"e4":    func() *report.Table { return repro.ExperimentSingleCell(48) },
+		"e5":    func() *report.Table { return repro.ExperimentCoupling(48) },
+		"e6":    func() *report.Table { return repro.ExperimentPRTvsMarch(48, 4) },
+		"e7":    repro.ExperimentBISTOverhead,
+		"e8":    repro.ExperimentMarkov,
+		"e9":    func() *report.Table { return repro.ExperimentIntraWord(32, 4) },
+		"e10":   func() *report.Table { return repro.ExperimentQualityFactors(48) },
+		"e11":   repro.ExperimentMultiplierSynthesis,
+		"e12":   func() *report.Table { return repro.ExperimentNPSF(64, 8) },
+		"e13":   func() *report.Table { return repro.ExperimentRetention(48) },
+		"e14":   func() *report.Table { return repro.ExperimentRingMode([]int{64, 255, 257}) },
+		"e15":   func() *report.Table { return repro.ExperimentMISR(64) },
+	}
+	order := []string{"fig1a", "fig1b", "fig2", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
+
+	id := strings.ToLower(*exp)
+	var tables []*report.Table
+	if id == "all" {
+		for _, k := range order {
+			tables = append(tables, byID[k]())
+		}
+	} else {
+		f, ok := byID[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faultcov: unknown experiment %q (choose from %s)\n",
+				*exp, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		tables = append(tables, f())
+	}
+	for _, t := range tables {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,82 @@
+// Command gfsynth synthesises XOR-only networks for multiplication by
+// a constant in GF(2^m) — the hardware block the paper embeds in the
+// memory circuit (§2).
+//
+// Usage:
+//
+//	gfsynth [-m 4] [-p "1+z+z^4"] [-c 2] [-verilog] [-survey]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gf"
+	"repro/internal/gf2"
+	"repro/internal/report"
+	"repro/internal/xorsynth"
+)
+
+func main() {
+	m := flag.Int("m", 4, "extension degree of GF(2^m)")
+	pstr := flag.String("p", "", "field modulus p(z) (default: smallest primitive)")
+	c := flag.Uint("c", 2, "the constant to multiply by")
+	verilog := flag.Bool("verilog", false, "emit a structural Verilog listing")
+	survey := flag.Bool("survey", false, "survey all nonzero constants of the field")
+	flag.Parse()
+
+	var field *gf.Field
+	if *pstr == "" {
+		field = gf.NewField(*m)
+	} else {
+		p, err := gf2.Parse(*pstr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		field, err = gf.NewFieldPoly(p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Printf("field: %v\n", field)
+
+	if *survey {
+		t := report.New("constant multiplier survey", "constant", "naive", "CSE", "saved", "depth")
+		totN, totC := 0, 0
+		for _, cost := range xorsynth.SurveyField(field) {
+			t.AddRowf(field.FormatElem(cost.Constant),
+				fmt.Sprintf("%d", cost.NaiveGates),
+				fmt.Sprintf("%d", cost.CSEGates),
+				fmt.Sprintf("%d", cost.Saved()),
+				fmt.Sprintf("%d", cost.CSEDepth))
+			totN += cost.NaiveGates
+			totC += cost.CSEGates
+		}
+		t.AddRowf("total", fmt.Sprintf("%d", totN), fmt.Sprintf("%d", totC),
+			fmt.Sprintf("%d", totN-totC), "-")
+		t.Render(os.Stdout)
+		return
+	}
+
+	elem, err := field.ElemFromBits(uint32(*c))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mat := field.ConstMulMatrix(elem)
+	naive := xorsynth.Naive(mat)
+	cse := xorsynth.CSE(mat)
+	fmt.Printf("constant: %s\n", field.FormatElem(elem))
+	fmt.Printf("matrix (rows = output bits):\n%v\n", mat)
+	fmt.Printf("naive: %d XORs depth %d | CSE: %d XORs depth %d\n",
+		naive.GateCount(), naive.Depth(), cse.GateCount(), cse.Depth())
+	if *verilog {
+		fmt.Println()
+		fmt.Print(cse.Verilog(fmt.Sprintf("gfmul_%x", *c)))
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "gfsynth: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,64 @@
+// Bistoverhead prices the on-chip PRT logic (§4 of the paper): it
+// itemises the gate-equivalent budget, sweeps memory capacities to
+// locate the 2^-20 overhead crossover, and runs the cycle-stepped
+// controller FSM to show the priced logic actually executes the test.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/bist"
+	"repro/internal/fault"
+	"repro/internal/lfsr"
+	"repro/internal/prt"
+	"repro/internal/ram"
+	"repro/internal/report"
+)
+
+func main() {
+	gm := bist.DefaultGateModel()
+	gen := lfsr.PaperGenPoly()
+
+	// Itemised budget for a 1 Mcell × 4 bit array.
+	p := bist.Params{N: 1 << 20, M: 4, Gen: gen, Ports: 1, Iterations: 3}
+	b, err := bist.ForPRT(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("budget @2^20 cells: %v\n", b)
+	fmt.Printf("gate equivalents:   %.0f\n", b.GateEquivalents(gm))
+	fmt.Printf("overhead ratio:     %.2e (2^%.1f)\n\n",
+		bist.OverheadRatio(b, p.N, p.M, gm), bist.Log2Ratio(b, p.N, p.M, gm))
+
+	// Capacity sweep: where does the ratio cross the paper's 2^-20?
+	t := report.New("overhead vs capacity", "cells", "gate-eq", "log2(ratio)", "<2^-20")
+	for _, logN := range []int{16, 20, 24, 28, 30} {
+		n := 1 << uint(logN)
+		bb, err := bist.ForPRT(bist.Params{N: n, M: 4, Gen: gen, Ports: 1, Iterations: 3})
+		if err != nil {
+			panic(err)
+		}
+		r := bist.OverheadRatio(bb, n, 4, gm)
+		t.AddRowf(fmt.Sprintf("2^%d", logN),
+			fmt.Sprintf("%.0f", bb.GateEquivalents(gm)),
+			fmt.Sprintf("%.1f", math.Log2(r)),
+			fmt.Sprintf("%v", r < math.Pow(2, -20)))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	// The controller FSM: one memory operation per clock.
+	mem := ram.NewWOM(256, 4)
+	ctl, err := bist.NewController(prt.PaperWOMConfig(), mem)
+	if err != nil {
+		panic(err)
+	}
+	ok := ctl.Run()
+	fmt.Printf("controller on clean memory: pass=%v in %d cycles\n", ok, ctl.Cycles)
+
+	bad := fault.SAF{Cell: 100, Bit: 0, Value: 1}.Inject(ram.NewWOM(256, 4))
+	ctl2, _ := bist.NewController(prt.PaperWOMConfig(), bad)
+	fmt.Printf("controller on faulty memory: pass=%v (state %v)\n", ctl2.Run(), ctl2.State())
+}

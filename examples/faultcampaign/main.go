@@ -1,0 +1,65 @@
+// Faultcampaign runs a full fault-injection campaign: the standard
+// van de Goor fault universe against pseudo-ring testing and the March
+// baselines, reproducing the coverage comparison of experiment E6 at a
+// custom size.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/coverage"
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/prt"
+	"repro/internal/ram"
+	"repro/internal/report"
+)
+
+func main() {
+	n, m := 64, 4
+	u := fault.StandardUniverse(n, m, 20, 42)
+	fmt.Printf("universe: %s — %d faults\n\n", u.Name, u.Len())
+
+	mk := func() ram.Memory { return ram.NewWOM(n, m) }
+	bgs := march.DataBackgrounds(m)
+	gen := prt.PaperWOMConfig().Gen
+
+	runners := []coverage.Runner{
+		coverage.MarchRunner(march.MATSPlus(), bgs),
+		coverage.MarchRunner(march.MarchCMinus(), bgs),
+		coverage.PRTRunner(prt.StandardScheme3(gen)),
+		coverage.PRTRunner(prt.ExtendedScheme(gen, 2)),
+	}
+
+	t := report.New("coverage campaign", "algorithm", "ops(clean)", "coverage", "worst class")
+	for _, r := range runners {
+		res := coverage.Campaign(r, u, mk, 0)
+		if res.FalsePositive {
+			fmt.Printf("WARNING: %s flags fault-free memory\n", res.Runner)
+		}
+		worstName, worst := "-", 1.0
+		for _, c := range res.Classes() {
+			if r := res.ByClass[c].Ratio(); r < worst {
+				worst = r
+				worstName = c.String()
+			}
+		}
+		t.AddRowf(res.Runner,
+			fmt.Sprintf("%d", res.OpsCleanRun),
+			report.Percent(res.Detected, res.Total),
+			fmt.Sprintf("%s (%.1f%%)", worstName, 100*worst))
+	}
+	t.Render(os.Stdout)
+
+	// Drill into one algorithm's per-class breakdown.
+	fmt.Println()
+	res := coverage.Campaign(coverage.PRTRunner(prt.ExtendedScheme(gen, 2)), u, mk, 0)
+	d := report.New("PRT-x2 per-class breakdown", "class", "detected", "total", "ratio")
+	for _, c := range res.Classes() {
+		s := res.ByClass[c]
+		d.AddRowf(c.String(), fmt.Sprintf("%d", s.Detected),
+			fmt.Sprintf("%d", s.Total), report.Percent(s.Detected, s.Total))
+	}
+	d.Render(os.Stdout)
+}

@@ -1,0 +1,34 @@
+// Quickstart: self-test a simulated RAM with pseudo-ring testing, then
+// break it and watch the test catch the defect.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/fault"
+)
+
+func main() {
+	// A 1024-cell, 4-bit-word RAM (the paper's word-oriented case).
+	mem := repro.NewWOM(1024, 4)
+
+	pass, err := repro.SelfTest(mem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fault-free memory: pass=%v\n", pass)
+
+	// Inject a stuck-at-1 defect on bit 2 of cell 500 and retest.
+	broken := fault.SAF{Cell: 500, Bit: 2, Value: 1}.Inject(repro.NewWOM(1024, 4))
+	pass, err = repro.SelfTest(broken)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("memory with SAF1@c500.b2: pass=%v\n", pass)
+
+	// The same API drives bit-oriented memories.
+	bom := repro.NewBOM(4096)
+	pass, _ = repro.SelfTest(bom)
+	fmt.Printf("fault-free 4096-bit BOM: pass=%v\n", pass)
+}

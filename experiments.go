@@ -1,0 +1,549 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bist"
+	"repro/internal/coverage"
+	"repro/internal/fault"
+	"repro/internal/gf"
+	"repro/internal/lfsr"
+	"repro/internal/march"
+	"repro/internal/markov"
+	"repro/internal/prt"
+	"repro/internal/ram"
+	"repro/internal/report"
+	"repro/internal/xorsynth"
+)
+
+// This file implements the experiment harness: one function per paper
+// artefact (figure or quantitative claim), each returning a
+// report.Table with the rows the paper's evaluation corresponds to.
+// bench_test.go wraps each in a Benchmark; cmd/faultcov prints them.
+
+// ExperimentFig1a regenerates Figure 1a: the bit-oriented π-iteration
+// state evolution (TDB) and the ring-closure check.
+func ExperimentFig1a(n int) *report.Table {
+	cfg := prt.PaperBOMConfig()
+	mem := ram.NewBOM(n)
+	res := prt.MustRunIteration(cfg, mem)
+	t := report.New(
+		fmt.Sprintf("Fig.1a — BOM π-iteration, g(x)=1+x+x^2, seed (1,1), n=%d", n),
+		"cell", "value")
+	show := n
+	if show > 12 {
+		show = 12
+	}
+	for i := 0; i < show; i++ {
+		t.AddRow(i, mem.Read(i))
+	}
+	f := cfg.Gen.Field
+	t.AddRowf("Init", prt.FormatState(f, cfg.Seed))
+	t.AddRowf("Fin", prt.FormatState(f, res.Fin))
+	t.AddRowf("Fin*", prt.FormatState(f, res.FinStar))
+	t.AddRowf("ring closed", fmt.Sprintf("%v (period 3, (n-2) mod 3 = %d)", res.RingClosed, (n-2)%3))
+	return t
+}
+
+// ExperimentFig1b regenerates Figure 1b: the word-oriented iteration
+// over GF(2^4) with g(x)=1+2x+2x^2, p(z)=1+z+z^4 — the TDB
+// 0,1,2,6,8,F,… and the period-255 pseudo-ring.
+func ExperimentFig1b(n int) *report.Table {
+	cfg := prt.PaperWOMConfig()
+	f := cfg.Gen.Field
+	mem := ram.NewWOM(n, 4)
+	res := prt.MustRunIteration(cfg, mem)
+	t := report.New(
+		fmt.Sprintf("Fig.1b — WOM π-iteration, g(x)=1+2x+2x^2 over GF(2^4), p(z)=1+z+z^4, n=%d", n),
+		"cell", "value(hex)")
+	show := n
+	if show > 16 {
+		show = 16
+	}
+	for i := 0; i < show; i++ {
+		t.AddRowf(fmt.Sprintf("%d", i), f.FormatElem(gf.Elem(mem.Read(i))))
+	}
+	w := lfsr.MustWord(cfg.Gen, cfg.Seed)
+	t.AddRowf("period", fmt.Sprintf("%d", w.Period(0)))
+	t.AddRowf("Init", prt.FormatState(f, cfg.Seed))
+	t.AddRowf("Fin", prt.FormatState(f, res.Fin))
+	t.AddRowf("Fin*", prt.FormatState(f, res.FinStar))
+	t.AddRowf("ring closed", fmt.Sprintf("%v ((n-2) mod 255 = %d)", res.RingClosed, (n-2)%255))
+	return t
+}
+
+// ExperimentFig2 regenerates the Fig. 2 / §4 comparison: dual-port
+// cycles (2n) versus single-port operations (3n) across array sizes.
+func ExperimentFig2(sizes []int) *report.Table {
+	t := report.New("Fig.2 / §4 — dual-port PRT: 2n cycles vs 3n single-port ops",
+		"n", "1P ops", "2P cycles", "ratio", "both pass")
+	for _, n := range sizes {
+		cfg := prt.PaperWOMConfig()
+		cfgSig := cfg // plain signature iteration
+		sp := ram.NewWOM(n, 4)
+		spRes := prt.MustRunIteration(cfgSig, sp)
+		dp := ram.NewDualPort(n, 4)
+		dpRes, err := prt.RunDualPort(cfg, dp)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(n, spRes.Ops, dpRes.Cycles,
+			float64(spRes.Ops)/float64(dpRes.Cycles),
+			!spRes.Detected && !dpRes.Detected)
+	}
+	return t
+}
+
+// ExperimentSingleCell regenerates the §3 single-cell claim (E4):
+// coverage of SAF/TF/SOF/AF per iteration count, for BOM and WOM.
+func ExperimentSingleCell(n int) *report.Table {
+	t := report.New(
+		fmt.Sprintf("§3 (E4) — single-cell fault coverage vs π-iterations, n=%d", n),
+		"memory", "iters", "SAF", "TF", "SOF", "AF", "total")
+	type geom struct {
+		label string
+		m     int
+		gen   lfsr.GenPoly
+		mk    coverage.MemoryFactory
+	}
+	geoms := []geom{
+		{"BOM", 1, prt.PaperBOMConfig().Gen, func() ram.Memory { return ram.NewBOM(n) }},
+		{"WOM m=4", 4, prt.PaperWOMConfig().Gen, func() ram.Memory { return ram.NewWOM(n, 4) }},
+	}
+	for _, g := range geoms {
+		var faults []fault.Fault
+		faults = append(faults, fault.SingleCellUniverse(n, g.m)...)
+		faults = append(faults, fault.StuckOpenUniverse(n)...)
+		faults = append(faults, fault.DecoderUniverse(n)...)
+		u := fault.Universe{Name: "single-cell", Faults: faults}
+		for it := 1; it <= 4; it++ {
+			s := prt.StandardScheme4(g.gen).Truncate(it)
+			res := coverage.Campaign(coverage.PRTRunner(s), u, g.mk, 0)
+			t.AddRowf(g.label, fmt.Sprintf("%d", it),
+				report.Percent(res.ByClass[fault.ClassSAF].Detected, res.ByClass[fault.ClassSAF].Total),
+				report.Percent(res.ByClass[fault.ClassTF].Detected, res.ByClass[fault.ClassTF].Total),
+				report.Percent(res.ByClass[fault.ClassSOF].Detected, res.ByClass[fault.ClassSOF].Total),
+				report.Percent(res.ByClass[fault.ClassAF].Detected, res.ByClass[fault.ClassAF].Total),
+				report.Percent(res.Detected, res.Total))
+		}
+	}
+	return t
+}
+
+// ExperimentCoupling regenerates the §3 multi-cell claim (E5):
+// coupling fault coverage versus iteration count and extended phase
+// blocks.
+func ExperimentCoupling(n int) *report.Table {
+	t := report.New(
+		fmt.Sprintf("§3 (E5) — coupling fault coverage vs iterations, WOM m=4, n=%d", n),
+		"scheme", "iters", "CFin", "CFid", "CFst", "BF", "total")
+	gen := prt.PaperWOMConfig().Gen
+	pairs := fault.AdjacentPairs(n)
+	pairs = append(pairs, fault.SamplePairs(n, 4, 20, 7)...)
+	u := fault.Universe{Name: "coupling", Faults: fault.CouplingUniverse(pairs)}
+	mk := func() ram.Memory { return ram.NewWOM(n, 4) }
+	addRow := func(name string, iters int, s prt.Scheme) {
+		res := coverage.Campaign(coverage.PRTRunner(s), u, mk, 0)
+		t.AddRowf(name, fmt.Sprintf("%d", iters),
+			report.Percent(res.ByClass[fault.ClassCFin].Detected, res.ByClass[fault.ClassCFin].Total),
+			report.Percent(res.ByClass[fault.ClassCFid].Detected, res.ByClass[fault.ClassCFid].Total),
+			report.Percent(res.ByClass[fault.ClassCFst].Detected, res.ByClass[fault.ClassCFst].Total),
+			report.Percent(res.ByClass[fault.ClassBF].Detected, res.ByClass[fault.ClassBF].Total),
+			report.Percent(res.Detected, res.Total))
+	}
+	for it := 1; it <= 4; it++ {
+		addRow("PRT", it, prt.StandardScheme4(gen).Truncate(it))
+	}
+	for _, blocks := range []int{2, 3, 4} {
+		addRow(fmt.Sprintf("PRT-x%d", blocks), 4*blocks, prt.ExtendedScheme(gen, blocks))
+	}
+	return t
+}
+
+// ExperimentPRTvsMarch regenerates the op-count/coverage comparison
+// (E6): the classical March algorithms against PRT schemes on the
+// standard universe.
+func ExperimentPRTvsMarch(n, m int) *report.Table {
+	t := report.New(
+		fmt.Sprintf("§3/§4 (E6) — PRT vs March: ops and coverage, n=%d m=%d", n, m),
+		"algorithm", "ops/cell", "ops(clean)", "coverage", "SAF", "TF", "CF*", "AF")
+	u := fault.StandardUniverse(n, m, 10, 5)
+	mk := func() ram.Memory { return ram.NewWOM(n, m) }
+	bgs := march.DataBackgrounds(m)
+
+	runners := []coverage.Runner{
+		coverage.MarchRunner(march.MATSPlus(), bgs),
+		coverage.MarchRunner(march.MarchX(), bgs),
+		coverage.MarchRunner(march.MarchY(), bgs),
+		coverage.MarchRunner(march.MarchCMinus(), bgs),
+		coverage.MarchRunner(march.MarchA(), bgs),
+		coverage.MarchRunner(march.MarchB(), bgs),
+	}
+	gen := prt.PaperWOMConfig().Gen
+	if m != 4 {
+		f := gf.NewField(m)
+		gen = lfsr.MustGenPoly(f, []gf.Elem{1, 2 % (f.Mask() + 1), 2 % (f.Mask() + 1)})
+	}
+	prtRunners := []coverage.Runner{
+		coverage.PRTRunner(prt.StandardScheme3(gen).SignatureOnly()),
+		coverage.PRTRunner(prt.StandardScheme3(gen)),
+		coverage.PRTRunner(prt.StandardScheme4(gen)),
+		coverage.PRTRunner(prt.ExtendedScheme(gen, 2)),
+	}
+	opsPerCell := map[string]int{}
+	for _, r := range []march.Test{march.MATSPlus(), march.MarchX(), march.MarchY(), march.MarchCMinus(), march.MarchA(), march.MarchB()} {
+		opsPerCell[r.Name] = r.OpsPerCell() * len(bgs)
+	}
+	opsPerCell["PRT-3/sig"] = prt.StandardScheme3(gen).SignatureOnly().OpsPerCell()
+	opsPerCell["PRT-3"] = prt.StandardScheme3(gen).OpsPerCell()
+	opsPerCell["PRT-4"] = prt.StandardScheme4(gen).OpsPerCell()
+	opsPerCell["PRT-x2"] = prt.ExtendedScheme(gen, 2).OpsPerCell()
+
+	for _, r := range append(runners, prtRunners...) {
+		res := coverage.Campaign(r, u, mk, 0)
+		cfDet, cfTot := coverage.Sum(res.ByClass,
+			fault.ClassCFin, fault.ClassCFid, fault.ClassCFst, fault.ClassBF, fault.ClassIWCF)
+		t.AddRowf(res.Runner,
+			fmt.Sprintf("%dn", opsPerCell[res.Runner]),
+			fmt.Sprintf("%d", res.OpsCleanRun),
+			report.Percent(res.Detected, res.Total),
+			report.Percent(res.ByClass[fault.ClassSAF].Detected, res.ByClass[fault.ClassSAF].Total),
+			report.Percent(res.ByClass[fault.ClassTF].Detected, res.ByClass[fault.ClassTF].Total),
+			report.Percent(cfDet, cfTot),
+			report.Percent(res.ByClass[fault.ClassAF].Detected, res.ByClass[fault.ClassAF].Total))
+	}
+	return t
+}
+
+// ExperimentBISTOverhead regenerates the §4 overhead claim (E7): the
+// gate-equivalent budget relative to memory capacity across sizes,
+// crossing the paper's 2^-20 bound.
+func ExperimentBISTOverhead() *report.Table {
+	t := report.New("§4 (E7) — BIST hardware overhead vs capacity (bound 2^-20)",
+		"cells", "bits", "gate-eq", "ratio", "log2(ratio)", "<2^-20")
+	gm := bist.DefaultGateModel()
+	for _, logN := range []int{10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30} {
+		n := 1 << uint(logN)
+		p := bist.Params{N: n, M: 4, Gen: lfsr.PaperGenPoly(), Ports: 1, Iterations: 3}
+		b, err := bist.ForPRT(p)
+		if err != nil {
+			panic(err)
+		}
+		ratio := bist.OverheadRatio(b, n, 4, gm)
+		t.AddRowf(
+			fmt.Sprintf("2^%d", logN),
+			fmt.Sprintf("2^%d", logN+2),
+			fmt.Sprintf("%.0f", b.GateEquivalents(gm)),
+			fmt.Sprintf("%.2e", ratio),
+			fmt.Sprintf("%.1f", math.Log2(ratio)),
+			fmt.Sprintf("%v", ratio < math.Pow(2, -20)))
+	}
+	return t
+}
+
+// ExperimentMarkov regenerates the §3 resolution analysis (E8): the
+// Markov-chain detection probability of the π-test per iteration
+// count for several word widths.
+func ExperimentMarkov() *report.Table {
+	t := report.New("§3 (E8) — Markov-chain π-test resolution (k=2)",
+		"m", "alias 2^-(mk)", "P(det) it=1", "it=2", "it=3", "it=5", "iters→99.9%")
+	for _, m := range []int{1, 4, 8, 16} {
+		p := markov.PRTModel{M: m, K: 2, PExcite: 1}
+		row := []string{fmt.Sprintf("%d", m), fmt.Sprintf("%.2e", p.AliasProbability())}
+		for _, it := range []int{1, 2, 3, 5} {
+			d, err := p.DetectionProbability(it)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, fmt.Sprintf("%.6f", d))
+		}
+		it, err := p.IterationsFor(0.999)
+		if err != nil {
+			panic(err)
+		}
+		row = append(row, fmt.Sprintf("%d", it))
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+// ExperimentIntraWord regenerates the §2 intra-word comparison (E9):
+// parallel versus random bit-lane trajectories, plus the word-automaton
+// scheme, on the intra-word coupling universe.
+func ExperimentIntraWord(n, m int) *report.Table {
+	t := report.New(
+		fmt.Sprintf("§2 (E9) — intra-word faults: parallel vs random lanes, n=%d m=%d", n, m),
+		"scheme", "iters", "IWCF coverage")
+	u := fault.Universe{Name: "intra-word", Faults: fault.IntraWordUniverse(n, m)}
+	mk := func() ram.Memory { return ram.NewWOM(n, m) }
+	for _, mode := range []prt.LaneMode{prt.ParallelLanes, prt.RandomLanes} {
+		for _, iters := range []int{1, 3, 6, 8} {
+			r := coverage.BitSlicedRunner(
+				fmt.Sprintf("bit-sliced/%v", mode),
+				prt.BitSlicedScheme(m, mode, iters))
+			res := coverage.Campaign(r, u, mk, 0)
+			t.AddRowf(res.Runner, fmt.Sprintf("%d", iters),
+				report.Percent(res.Detected, res.Total))
+		}
+	}
+	gen := prt.PaperWOMConfig().Gen
+	for _, blocks := range []int{1, 2, 4} {
+		res := coverage.Campaign(coverage.PRTRunner(prt.ExtendedScheme(gen, blocks)), u, mk, 0)
+		t.AddRowf(res.Runner, fmt.Sprintf("%d", 4*blocks),
+			report.Percent(res.Detected, res.Total))
+	}
+	return t
+}
+
+// ExperimentQualityFactors regenerates the §3 three-factor study
+// (E10): polynomial structure, initial values and trajectory, varied
+// one at a time against the signature-only baseline.
+func ExperimentQualityFactors(n int) *report.Table {
+	t := report.New(
+		fmt.Sprintf("§3 (E10) — quality factors of the π-test (signature-only, 3 iterations), BOM n=%d", n),
+		"factor", "setting", "coverage")
+	u := fault.StandardUniverse(n, 1, 10, 3)
+	mk := func() ram.Memory { return ram.NewBOM(n) }
+	f1 := gf.NewField(1)
+
+	run := func(factor, setting string, s prt.Scheme) {
+		res := coverage.Campaign(coverage.PRTRunner(s.SignatureOnly()), u, mk, 0)
+		t.AddRowf(factor, setting, report.Percent(res.Detected, res.Total))
+	}
+	// Factor 1: polynomial structure.
+	gens := map[string]lfsr.GenPoly{
+		"g=1+x+x^2 (period 3)":  lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 1}),
+		"g=1+x+x^3 (period 7)":  lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 0, 1}),
+		"g=1+x+x^4 (period 15)": lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 0, 0, 1}),
+	}
+	for name, g := range gens {
+		run("polynomial", name, prt.StandardScheme3(g))
+	}
+	// Factor 2: initial values (seed phases of the same automaton).
+	g := lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 1})
+	seeds := map[string][]gf.Elem{
+		"seed (1,0)": {1, 0},
+		"seed (1,1)": {1, 1},
+		"seed (0,1)": {0, 1},
+	}
+	for name, seed := range seeds {
+		s := prt.StandardScheme3(g)
+		it0 := s.Iters[0]
+		it0.Seed = seed
+		s.Iters[0] = it0
+		run("initial values", name, s)
+	}
+	// Factor 3: trajectory of the first iteration.
+	for name, tr := range map[string]prt.Trajectory{
+		"ascending":  prt.Ascending,
+		"descending": prt.Descending,
+		"random":     prt.Random,
+	} {
+		s := prt.StandardScheme3(g)
+		it0 := s.Iters[0]
+		it0.Trajectory = tr
+		it0.PermSeed = 11
+		s.Iters[0] = it0
+		run("trajectory", name, s)
+	}
+	return t
+}
+
+// ExperimentMultiplierSynthesis regenerates the §2 constant-multiplier
+// claim (E11): XOR gate counts before/after CSE for every constant of
+// GF(2^4), plus the GF(2^8) aggregate.
+func ExperimentMultiplierSynthesis() *report.Table {
+	t := report.New("§2 (E11) — constant multiplier synthesis, GF(2^4) mod 1+z+z^4",
+		"constant", "naive XORs", "CSE XORs", "saved", "depth")
+	f4 := gf.NewField(4)
+	for _, c := range xorsynth.SurveyField(f4) {
+		t.AddRowf(
+			f4.FormatElem(c.Constant),
+			fmt.Sprintf("%d", c.NaiveGates),
+			fmt.Sprintf("%d", c.CSEGates),
+			fmt.Sprintf("%d", c.Saved()),
+			fmt.Sprintf("%d", c.CSEDepth))
+	}
+	f8 := gf.NewField(8)
+	naive, cse := 0, 0
+	for _, c := range xorsynth.SurveyField(f8) {
+		naive += c.NaiveGates
+		cse += c.CSEGates
+	}
+	t.AddRowf("GF(2^8) total", fmt.Sprintf("%d", naive), fmt.Sprintf("%d", cse),
+		fmt.Sprintf("%d", naive-cse), "-")
+	return t
+}
+
+// ExperimentNPSF is extension experiment E12: neighbourhood pattern
+// sensitive fault coverage of PRT versus the March baselines on a
+// bit-oriented array with the given grid width.  Neither family
+// targets NPSF explicitly; the varied pseudo-ring TDB activates many
+// neighbourhood patterns as a side effect.
+func ExperimentNPSF(n, width int) *report.Table {
+	t := report.New(
+		fmt.Sprintf("E12 (extension) — NPSF coverage, BOM n=%d grid width %d", n, width),
+		"algorithm", "SNPSF", "ANPSF", "total")
+	snpsf := fault.Universe{Name: "snpsf", Faults: fault.NPSFUniverse(n, width, 1)}
+	anpsf := fault.Universe{Name: "anpsf", Faults: fault.ANPSFUniverse(n, width, 2)}
+	mk := func() ram.Memory { return ram.NewBOM(n) }
+	gen := prt.PaperBOMConfig().Gen
+	runners := []coverage.Runner{
+		coverage.MarchRunner(march.MarchCMinus(), nil),
+		coverage.MarchRunner(march.MarchSS(), nil),
+		coverage.PRTRunner(prt.StandardScheme3(gen)),
+		coverage.PRTRunner(prt.ExtendedScheme(gen, 3)),
+	}
+	for _, r := range runners {
+		rs := coverage.Campaign(r, snpsf, mk, 0)
+		ra := coverage.Campaign(r, anpsf, mk, 0)
+		t.AddRowf(rs.Runner,
+			report.Percent(rs.Detected, rs.Total),
+			report.Percent(ra.Detected, ra.Total),
+			report.Percent(rs.Detected+ra.Detected, rs.Total+ra.Total))
+	}
+	return t
+}
+
+// ExperimentRetention is extension experiment E13: data-retention
+// (DRF) coverage as a function of the decay delay relative to the test
+// length.  A fault whose retention time exceeds the whole test escapes
+// any algorithm without an explicit pause, reproducing why production
+// flows insert delay elements.
+func ExperimentRetention(n int) *report.Table {
+	t := report.New(
+		fmt.Sprintf("E13 (extension) — data retention faults vs decay delay, WOM m=4 n=%d", n),
+		"decay delay (ops)", "PRT-3", "March C-")
+	mk := func() ram.Memory { return ram.NewWOM(n, 4) }
+	gen := prt.PaperWOMConfig().Gen
+	prtR := coverage.PRTRunner(prt.StandardScheme3(gen))
+	marchR := coverage.MarchRunner(march.MarchCMinus(), march.DataBackgrounds(4))
+	for _, delay := range []uint64{64, 256, 1024, 4096, 1 << 20} {
+		u := fault.Universe{
+			Name:   "drf",
+			Faults: fault.RetentionUniverse(n, 4, delay),
+		}
+		a := coverage.Campaign(prtR, u, mk, 0)
+		b := coverage.Campaign(marchR, u, mk, 0)
+		t.AddRowf(fmt.Sprintf("%d", delay),
+			report.Percent(a.Detected, a.Total),
+			report.Percent(b.Detected, b.Total))
+	}
+	return t
+}
+
+// ExperimentRingMode is ablation experiment E14: plain (Fin = last k
+// cells) versus wrap-around ring iterations across array sizes,
+// reporting closure and single-iteration coverage on the single-cell
+// universe.  The ring costs k extra steps and changes the closure
+// condition from (n-k) ≡ 0 to n ≡ 0 (mod period).
+func ExperimentRingMode(sizes []int) *report.Table {
+	t := report.New("E14 (ablation) — plain vs ring iterations, WOM m=4",
+		"n", "mode", "ring closes", "ops", "1-iter coverage")
+	for _, n := range sizes {
+		u := fault.Universe{Name: "single", Faults: fault.SingleCellUniverse(n, 4)}
+		mk := func() ram.Memory { return ram.NewWOM(n, 4) }
+		for _, ring := range []bool{false, true} {
+			cfg := prt.PaperWOMConfig()
+			cfg.Ring = ring
+			mode := "plain"
+			if ring {
+				mode = "ring"
+			}
+			s := prt.Scheme{Name: "PRT-1/" + mode, Iters: []prt.Config{cfg}}
+			res := coverage.Campaign(coverage.PRTRunner(s), u, mk, 0)
+			t.AddRowf(fmt.Sprintf("%d", n), mode,
+				fmt.Sprintf("%v", prt.RingCloses(cfg, n)),
+				fmt.Sprintf("%d", res.OpsCleanRun),
+				report.Percent(res.Detected, res.Total))
+		}
+	}
+	return t
+}
+
+// ExperimentMISR is ablation experiment E15: the exact per-read
+// comparator of the verify pass versus MISR signature compression of
+// the same read-back stream, on the single-cell universe.  MISR costs
+// one m-bit register instead of n comparisons; the measured coverage
+// difference quantifies the aliasing the markov model predicts
+// (≈2^-m for random multi-error patterns; single-cell faults never
+// produce a lone-error alias, so the gap is small).
+func ExperimentMISR(n int) *report.Table {
+	t := report.New(
+		fmt.Sprintf("E15 (ablation) — exact verify vs MISR-compressed verify, WOM m=4 n=%d", n),
+		"checker", "coverage (single-cell universe)")
+	u := fault.Universe{Name: "single", Faults: fault.SingleCellUniverse(n, 4)}
+	mk := func() ram.Memory { return ram.NewWOM(n, 4) }
+
+	exact := coverage.Campaign(coverage.PRTRunner(prt.PaperWOMScheme3()), u, mk, 0)
+	t.AddRowf("exact comparator", report.Percent(exact.Detected, exact.Total))
+
+	misr := coverage.Campaign(misrCompressedRunner{n: n}, u, mk, 0)
+	t.AddRowf("MISR-compressed", report.Percent(misr.Detected, misr.Total))
+	return t
+}
+
+// misrCompressedRunner runs the 3-iteration scheme with signature-only
+// detection plus a MISR compression of each iteration's read-back
+// stream compared against the compressed prediction.
+type misrCompressedRunner struct{ n int }
+
+func (misrCompressedRunner) Name() string { return "PRT-3/misr" }
+
+func (r misrCompressedRunner) Run(mem ram.Memory) (bool, uint64) {
+	gen := prt.PaperWOMConfig().Gen
+	f := gen.Field
+	s := prt.PaperWOMScheme3().SignatureOnly()
+	res, err := s.Run(mem)
+	if err != nil {
+		panic(err)
+	}
+	detected := res.Detected
+	ops := res.Ops
+	// Compress a final read-back of the last iteration's TDB.  The
+	// last scheme iteration is the mirror of iteration 1, so the
+	// expected contents equal iteration 1's TDB by construction.
+	cfg := s.Iters[0]
+	want := prt.ExpectedSequence(cfg, mem.Size())
+	observed := make([]gf.Elem, mem.Size())
+	for a := 0; a < mem.Size(); a++ {
+		observed[a] = gf.Elem(mem.Read(a))
+		ops++
+	}
+	sigWant, err := bist.Predict(f, 0, want)
+	if err != nil {
+		panic(err)
+	}
+	sigGot, err := bist.Predict(f, 0, observed)
+	if err != nil {
+		panic(err)
+	}
+	if sigGot != sigWant {
+		detected = true
+	}
+	return detected, ops
+}
+
+// AllExperiments returns every experiment table with default
+// parameters — the full regeneration pass used by cmd/faultcov and the
+// benches.
+func AllExperiments() []*report.Table {
+	return []*report.Table{
+		ExperimentFig1a(16),
+		ExperimentFig1b(257),
+		ExperimentFig2([]int{64, 256, 1024}),
+		ExperimentSingleCell(48),
+		ExperimentCoupling(48),
+		ExperimentPRTvsMarch(48, 4),
+		ExperimentBISTOverhead(),
+		ExperimentMarkov(),
+		ExperimentIntraWord(32, 4),
+		ExperimentQualityFactors(48),
+		ExperimentMultiplierSynthesis(),
+		ExperimentNPSF(64, 8),
+		ExperimentRetention(48),
+		ExperimentRingMode([]int{64, 255, 257}),
+		ExperimentMISR(64),
+	}
+}

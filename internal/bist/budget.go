@@ -1,0 +1,164 @@
+// Package bist models the built-in self-test hardware that the paper's
+// §4 adds to a RAM for pseudo-ring testing: converted address counters,
+// the constant-multiplier XOR network, the word-wide XOR adders, the
+// Fin/Fin* comparator and a small control FSM.
+//
+// The package provides two things:
+//
+//   - a gate-equivalent Budget for the PRT logic, used to reproduce the
+//     paper's claim that the hardware overhead relative to the memory
+//     capacity is below 2^-20 for large arrays (experiment E7), and
+//   - a cycle-stepped Controller FSM that drives a ram.Memory through a
+//     π-test iteration one clock at a time, demonstrating that the
+//     logic the budget counts is sufficient to run the test.
+package bist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gf"
+	"repro/internal/lfsr"
+	"repro/internal/xorsynth"
+)
+
+// GateModel converts structural elements into gate equivalents (a
+// 2-input NAND counts as 1).  The defaults follow common standard-cell
+// accounting: a D flip-flop ≈ 4 gates, an XOR ≈ 2, a ROM bit ≈ 0.25.
+type GateModel struct {
+	FF     float64
+	XOR    float64
+	Gate   float64 // generic 2-input gate
+	ROMBit float64
+}
+
+// DefaultGateModel returns the accounting constants used by the
+// experiments.
+func DefaultGateModel() GateModel {
+	return GateModel{FF: 4, XOR: 2, Gate: 1, ROMBit: 0.25}
+}
+
+// Budget itemises the PRT BIST logic.
+type Budget struct {
+	FFs      int // flip-flops (counters, state, control)
+	XORs     int // XOR gates (multipliers, adders, comparator)
+	Gates    int // other combinational gates (OR tree, FSM decode)
+	ROMBits  int // seed / expected-signature storage
+	Ports    int
+	WordBits int
+}
+
+// GateEquivalents returns the budget weighted by the model.
+func (b Budget) GateEquivalents(m GateModel) float64 {
+	return float64(b.FFs)*m.FF + float64(b.XORs)*m.XOR +
+		float64(b.Gates)*m.Gate + float64(b.ROMBits)*m.ROMBit
+}
+
+// String gives a one-line summary.
+func (b Budget) String() string {
+	return fmt.Sprintf("FF=%d XOR=%d gates=%d ROM=%db", b.FFs, b.XORs, b.Gates, b.ROMBits)
+}
+
+// Params describes the memory and automaton the BIST is built for.
+type Params struct {
+	// N is the number of cells, M the word width.
+	N, M int
+	// Gen is the automaton; its taps fix the multiplier network.
+	Gen lfsr.GenPoly
+	// Ports is the number of memory ports (1 for the O(3n) scheme, 2
+	// for the Fig. 2 scheme — the paper converts *the existing address
+	// registers* into counters, so extra ports do not add counters,
+	// only the second counter's increment logic).
+	Ports int
+	// Iterations is the number of π-iterations the controller sequences
+	// (it only affects the iteration counter width).
+	Iterations int
+}
+
+// ForPRT itemises the PRT BIST for the given parameters, synthesising
+// the constant multipliers with CSE (the paper's §2 "optimal scheme of
+// multiplication by a constant").
+func ForPRT(p Params) (Budget, error) {
+	if p.N < 2 || p.M < 1 {
+		return Budget{}, fmt.Errorf("bist: bad geometry %dx%d", p.N, p.M)
+	}
+	if p.Gen.Field == nil || p.Gen.Field.M() != p.M {
+		return Budget{}, fmt.Errorf("bist: generator field does not match word width")
+	}
+	if p.Ports < 1 {
+		return Budget{}, fmt.Errorf("bist: ports must be >= 1")
+	}
+	if p.Iterations < 1 {
+		p.Iterations = 3
+	}
+	k := p.Gen.K()
+	addrBits := bitsFor(p.N)
+
+	var b Budget
+	b.Ports = p.Ports
+	b.WordBits = p.M
+
+	// Address counters: the paper converts the existing address
+	// registers into counters — the *overhead* is the increment logic
+	// (one half-adder per bit) plus one offset register per automaton
+	// stage to address the k trailing cells.
+	b.Gates += p.Ports * addrBits // increment carry chain
+	b.FFs += k * addrBits         // trailing-cell address offsets
+
+	// Constant multipliers ×a_j, CSE-optimised XOR-only networks.
+	f := p.Gen.Field
+	for _, a := range p.Gen.Taps() {
+		nl := xorsynth.CSE(f.ConstMulMatrix(gf.Elem(a)))
+		b.XORs += nl.GateCount()
+	}
+	// Word adders combining the k products (k-1 adds of m XORs each).
+	if k > 1 {
+		b.XORs += (k - 1) * p.M
+	}
+	// Data staging: in the single-port scheme the k read operands are
+	// staged in registers; the dual-port scheme stages one.
+	stage := k
+	if p.Ports >= 2 {
+		stage = 1
+	}
+	b.FFs += stage * p.M
+
+	// Comparator Fin vs Fin*: k·m XNORs plus an OR reduction tree.
+	b.XORs += k * p.M
+	if k*p.M > 1 {
+		b.Gates += k*p.M - 1
+	}
+
+	// Seed and expected-signature storage for every iteration.
+	b.ROMBits += 2 * p.Iterations * k * p.M
+
+	// Control: FSM state register, iteration counter, handshake decode.
+	b.FFs += 4 + bitsFor(p.Iterations)
+	b.Gates += 16
+
+	return b, nil
+}
+
+// OverheadRatio returns gate-equivalents divided by the memory bit
+// capacity n*m — the paper's "ponder of the hardware overhead in
+// comparison with the memory capacity".
+func OverheadRatio(b Budget, n, m int, gm GateModel) float64 {
+	return b.GateEquivalents(gm) / (float64(n) * float64(m))
+}
+
+// Log2Ratio returns log2 of the overhead ratio (the paper states the
+// bound as 2^-20).
+func Log2Ratio(b Budget, n, m int, gm GateModel) float64 {
+	return math.Log2(OverheadRatio(b, n, m, gm))
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,206 @@
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/lfsr"
+	"repro/internal/prt"
+	"repro/internal/ram"
+)
+
+// State is the controller FSM state.
+type State int
+
+// FSM states of the PRT BIST controller.
+const (
+	StateIdle State = iota
+	StateSeed
+	StateReadOps // reading the k recurrence operands
+	StateWrite   // writing the recurrence value
+	StateFinRead // reading back the final window
+	StateCompare // comparing Fin with Fin*
+	StateDone
+	StateFail
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateSeed:
+		return "seed"
+	case StateReadOps:
+		return "read"
+	case StateWrite:
+		return "write"
+	case StateFinRead:
+		return "fin-read"
+	case StateCompare:
+		return "compare"
+	case StateDone:
+		return "done"
+	case StateFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Controller is a cycle-stepped model of the on-chip PRT engine: one
+// memory operation (or one compare) per Step call, mirroring the
+// hardware the Budget accounts for.  It executes a single signature
+// π-iteration; the multi-iteration sequencing is a trivial outer loop
+// (see RunAll).
+type Controller struct {
+	cfg   prt.Config
+	mem   ram.Memory
+	state State
+
+	addr    []int
+	k       int
+	pos     int // current trajectory position
+	operand int // which of the k operands is being read
+	acc     gf.Elem
+	fin     []gf.Elem
+	finStar []gf.Elem
+	finPos  int
+
+	// Cycles counts Step calls since reset.
+	Cycles uint64
+}
+
+// NewController builds a controller for one iteration of cfg on mem.
+// Ring and Verify/CaptureStale options are not modelled by the FSM
+// (the budget covers the plain signature engine).
+func NewController(cfg prt.Config, mem ram.Memory) (*Controller, error) {
+	if cfg.Ring || cfg.Verify || cfg.CaptureStale {
+		return nil, fmt.Errorf("bist: controller models the plain signature iteration only")
+	}
+	if err := cfg.Validate(mem.Size(), mem.Width()); err != nil {
+		return nil, err
+	}
+	finStar, err := lfsr.AffineJumpAhead(cfg.Gen, cfg.Offset, cfg.Seed, uint64(mem.Size()-cfg.Gen.K()))
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:     cfg,
+		mem:     mem,
+		state:   StateSeed,
+		addr:    cfg.Addresses(mem.Size()),
+		k:       cfg.Gen.K(),
+		fin:     make([]gf.Elem, 0, cfg.Gen.K()),
+		finStar: finStar,
+	}
+	return c, nil
+}
+
+// State returns the current FSM state.
+func (c *Controller) State() State { return c.state }
+
+// Done reports whether the FSM reached a terminal state.
+func (c *Controller) Done() bool { return c.state == StateDone || c.state == StateFail }
+
+// Failed reports whether the signature comparison failed.
+func (c *Controller) Failed() bool { return c.state == StateFail }
+
+// Step advances one clock: exactly one memory operation or one
+// comparison per call.
+func (c *Controller) Step() {
+	if c.Done() {
+		return
+	}
+	c.Cycles++
+	f := c.cfg.Gen.Field
+	taps := c.cfg.Gen.Taps()
+	n := c.mem.Size()
+	switch c.state {
+	case StateSeed:
+		c.mem.Write(c.addr[c.pos], ram.Word(c.cfg.Seed[c.pos]))
+		c.pos++
+		if c.pos == c.k {
+			c.state = StateReadOps
+			c.operand = 0
+			c.acc = c.cfg.Offset
+		}
+	case StateReadOps:
+		// Read operand c_{pos-1-operand} (most recent first).
+		v := gf.Elem(c.mem.Read(c.addr[c.pos-1-c.operand]))
+		c.acc = f.Add(c.acc, f.Mul(taps[c.operand], v))
+		c.operand++
+		if c.operand == c.k {
+			c.state = StateWrite
+		}
+	case StateWrite:
+		c.mem.Write(c.addr[c.pos], ram.Word(c.acc))
+		c.pos++
+		if c.pos == n {
+			c.state = StateFinRead
+			c.finPos = 0
+		} else {
+			c.state = StateReadOps
+			c.operand = 0
+			c.acc = c.cfg.Offset
+		}
+	case StateFinRead:
+		c.fin = append(c.fin, gf.Elem(c.mem.Read(c.addr[n-c.k+c.finPos])))
+		c.finPos++
+		if c.finPos == c.k {
+			c.state = StateCompare
+		}
+	case StateCompare:
+		for i := range c.fin {
+			if c.fin[i] != c.finStar[i] {
+				c.state = StateFail
+				return
+			}
+		}
+		c.state = StateDone
+	}
+}
+
+// Run steps the FSM to completion and returns whether the iteration
+// passed (signature matched).
+func (c *Controller) Run() bool {
+	for !c.Done() {
+		c.Step()
+	}
+	return c.state == StateDone
+}
+
+// Fin returns the observed final window (after completion).
+func (c *Controller) Fin() []gf.Elem { return append([]gf.Elem(nil), c.fin...) }
+
+// RunAll sequences the controller over every iteration of a scheme's
+// resolved configurations, returning pass/fail and total cycles.
+// Mirror placeholders are resolved against the memory size; the
+// verify/capture options are stripped (the FSM models the signature
+// engine the Budget prices).
+func RunAll(s prt.Scheme, mem ram.Memory) (pass bool, cycles uint64, err error) {
+	pass = true
+	resolved := make([]prt.Config, len(s.Iters))
+	for i, cfg := range s.Iters {
+		if t := cfg.MirrorOf - 1; t >= 0 {
+			m, err := prt.MirrorConfig(resolved[t], mem.Size())
+			if err != nil {
+				return false, cycles, err
+			}
+			cfg = m
+		}
+		cfg.Verify = false
+		cfg.CaptureStale = false
+		cfg.StaleExpect = nil
+		resolved[i] = cfg
+		ctl, err := NewController(cfg, mem)
+		if err != nil {
+			return false, cycles, err
+		}
+		ok := ctl.Run()
+		cycles += ctl.Cycles
+		if !ok {
+			pass = false
+		}
+	}
+	return pass, cycles, nil
+}

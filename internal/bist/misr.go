@@ -1,0 +1,99 @@
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// MISR is a word-wide multiple-input signature register over GF(2^m):
+// each Feed folds a data word into the running signature via
+//
+//	S ← α·S ⊕ d
+//
+// with α a fixed nonzero multiplier (the field generator by default).
+// It is the hardware-cheap alternative to the per-read comparator of
+// the verify pass: all n read-back words compress into one m-bit
+// signature, at the cost of an aliasing probability of ≈2^-m for a
+// random error burst (quantified by markov.PRTModel).  Because α ≠ 0
+// the map is injective per step, so any SINGLE wrong word always
+// changes the final signature — only multi-word error patterns can
+// alias.
+type MISR struct {
+	f     *gf.Field
+	alpha gf.Elem
+	state gf.Elem
+	fed   uint64
+}
+
+// NewMISR returns a signature register over f with multiplier alpha
+// (0 selects the field generator).
+func NewMISR(f *gf.Field, alpha gf.Elem) (*MISR, error) {
+	if f == nil {
+		return nil, fmt.Errorf("bist: nil field")
+	}
+	if alpha == 0 {
+		alpha = f.Generator()
+	}
+	if !f.Contains(alpha) || alpha == 0 {
+		return nil, fmt.Errorf("bist: bad MISR multiplier %#x", uint32(alpha))
+	}
+	return &MISR{f: f, alpha: alpha}, nil
+}
+
+// Reset clears the signature.
+func (m *MISR) Reset() { m.state, m.fed = 0, 0 }
+
+// Feed folds one data word.
+func (m *MISR) Feed(d gf.Elem) {
+	m.state = m.f.Add(m.f.Mul(m.alpha, m.state), d)
+	m.fed++
+}
+
+// FeedAll folds a slice of words.
+func (m *MISR) FeedAll(ds []gf.Elem) {
+	for _, d := range ds {
+		m.Feed(d)
+	}
+}
+
+// Signature returns the current signature.
+func (m *MISR) Signature() gf.Elem { return m.state }
+
+// Fed returns the number of words folded since the last reset.
+func (m *MISR) Fed() uint64 { return m.fed }
+
+// Predict computes, without a register, the signature of the given
+// word stream: Σ α^(n-1-i)·d_i.
+func Predict(f *gf.Field, alpha gf.Elem, ds []gf.Elem) (gf.Elem, error) {
+	r, err := NewMISR(f, alpha)
+	if err != nil {
+		return 0, err
+	}
+	r.FeedAll(ds)
+	return r.Signature(), nil
+}
+
+// AliasFreeDistance returns the number of trailing words over which a
+// single-word error can NEVER alias: infinite in exact arithmetic
+// (α is invertible), expressed here as the stream length itself — the
+// function exists to document the single-error guarantee and is used
+// by tests.
+func (m *MISR) AliasFreeDistance() uint64 { return m.fed }
+
+// CancellingPair returns two error values (e1 at position i, e2 at
+// position j > i, positions counted from the start of an n-word
+// stream) that alias to the same signature — the constructive witness
+// that multi-word errors can escape MISR compression.  Any e1 ≠ 0
+// works: e2 = α^(j-i)·e1 superimposed later cancels... specifically
+// the pair (e1 at i) and (α^(j-i)·e1 at j) produce equal contributions
+// when XORed into both streams, so e2 is returned such that injecting
+// e1 at i and e2 at j leaves the signature unchanged.
+func (m *MISR) CancellingPair(e1 gf.Elem, i, j, n int) (gf.Elem, error) {
+	if e1 == 0 || i < 0 || j <= i || j >= n {
+		return 0, fmt.Errorf("bist: bad cancelling pair request")
+	}
+	// Contribution of an error e at position p is α^(n-1-p)·e.
+	// Want α^(n-1-i)·e1 = α^(n-1-j)·e2  ⇒  e2 = α^(j-i)·e1.
+	return m.f.Mul(m.f.Pow(m.alpha, uint64(j-i)), e1), nil
+}

@@ -1,0 +1,82 @@
+// Package core is the entry point to the paper's primary contribution.
+//
+// The pseudo-ring testing engine itself lives in the sibling packages
+// (kept separate so each subsystem has a focused API):
+//
+//   - repro/internal/prt — π-test iterations, schemes, trajectories,
+//     bit-sliced lane automatons, the dual-port Fig. 2 executor
+//   - repro/internal/lfsr — the virtual linear/affine automaton models
+//   - repro/internal/gf, repro/internal/gf2 — the Galois-field tower
+//   - repro/internal/bist — the hardware budget and controller FSM
+//
+// core re-exports the user-facing types so downstream code can depend
+// on a single import, and bundles the canonical constructors.
+package core
+
+import (
+	"repro/internal/gf"
+	"repro/internal/lfsr"
+	"repro/internal/prt"
+	"repro/internal/ram"
+)
+
+// Config is a π-test iteration configuration.
+type Config = prt.Config
+
+// Scheme is a multi-iteration PRT experiment.
+type Scheme = prt.Scheme
+
+// IterationResult reports one π-iteration.
+type IterationResult = prt.IterationResult
+
+// SchemeResult reports a full scheme run.
+type SchemeResult = prt.SchemeResult
+
+// Trajectory is the cell visit order.
+type Trajectory = prt.Trajectory
+
+// Trajectory values.
+const (
+	Ascending  = prt.Ascending
+	Descending = prt.Descending
+	Random     = prt.Random
+)
+
+// Memory is the RAM model under test.
+type Memory = ram.Memory
+
+// DefaultWOMScheme returns the production 3-iteration scheme for an
+// m-bit word-oriented memory, built on the two-term generator
+// g(x) = 1 + 2x + 2x² over GF(2^m) with the repository default modulus
+// (for m = 4 this is exactly the paper's worked example).
+func DefaultWOMScheme(m int) Scheme {
+	f := gf.NewField(m)
+	a := gf.Elem(2) % (f.Mask() + 1)
+	if m == 1 {
+		return prt.StandardScheme3(prt.PaperBOMConfig().Gen)
+	}
+	g := lfsr.MustGenPoly(f, []gf.Elem{1, a, a})
+	return prt.StandardScheme3(g)
+}
+
+// DefaultBOMScheme returns the 3-iteration scheme for a bit-oriented
+// memory (g(x) = 1 + x + x² over GF(2)).
+func DefaultBOMScheme() Scheme {
+	return prt.StandardScheme3(prt.PaperBOMConfig().Gen)
+}
+
+// SelfTest runs the default scheme matching the memory's width and
+// reports whether the memory passed (no fault detected).
+func SelfTest(mem Memory) (pass bool, err error) {
+	var s Scheme
+	if mem.Width() == 1 {
+		s = DefaultBOMScheme()
+	} else {
+		s = DefaultWOMScheme(mem.Width())
+	}
+	r, err := s.Run(mem)
+	if err != nil {
+		return false, err
+	}
+	return !r.Detected, nil
+}

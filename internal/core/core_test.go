@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ram"
+)
+
+func TestSelfTestCleanMemories(t *testing.T) {
+	for _, mem := range []Memory{
+		ram.NewBOM(64),
+		ram.NewWOM(64, 4),
+		ram.NewWOM(100, 8),
+		ram.NewWOM(33, 16),
+	} {
+		pass, err := SelfTest(mem)
+		if err != nil {
+			t.Fatalf("width %d: %v", mem.Width(), err)
+		}
+		if !pass {
+			t.Errorf("clean memory of width %d failed self-test", mem.Width())
+		}
+	}
+}
+
+func TestSelfTestFaultyMemories(t *testing.T) {
+	cases := []struct {
+		mem  Memory
+		name string
+	}{
+		{fault.SAF{Cell: 9, Bit: 0, Value: 1}.Inject(ram.NewBOM(64)), "BOM SAF"},
+		{fault.SAF{Cell: 9, Bit: 3, Value: 0}.Inject(ram.NewWOM(64, 4)), "WOM SAF"},
+		{fault.TF{Cell: 30, Bit: 5, Up: true}.Inject(ram.NewWOM(64, 8)), "WOM TF"},
+		{fault.AF{Kind: fault.AFAlias, Addr: 3, Target: 11}.Inject(ram.NewWOM(64, 4)), "WOM AFalias"},
+	}
+	for _, c := range cases {
+		pass, err := SelfTest(c.mem)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if pass {
+			t.Errorf("%s: fault escaped the default self-test", c.name)
+		}
+	}
+}
+
+func TestDefaultSchemesShape(t *testing.T) {
+	if got := len(DefaultBOMScheme().Iters); got != 3 {
+		t.Errorf("BOM scheme iterations = %d", got)
+	}
+	for _, m := range []int{2, 4, 8, 12} {
+		s := DefaultWOMScheme(m)
+		if len(s.Iters) != 3 {
+			t.Errorf("m=%d: iterations = %d", m, len(s.Iters))
+		}
+		r, err := s.Run(ram.NewWOM(50, m))
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if r.Detected {
+			t.Errorf("m=%d: false positive", m)
+		}
+	}
+}

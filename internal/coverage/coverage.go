@@ -1,0 +1,226 @@
+// Package coverage runs fault-injection campaigns: a test algorithm ×
+// a fault universe → per-class detection statistics.  It is the engine
+// behind the quantitative experiments (E4, E5, E6, E9, E10) comparing
+// pseudo-ring testing with the March baselines.
+package coverage
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/prt"
+	"repro/internal/ram"
+)
+
+// Runner is a memory test algorithm under evaluation.
+type Runner interface {
+	// Name labels the algorithm in reports.
+	Name() string
+	// Run executes the test on mem and reports whether a fault was
+	// detected and how many memory operations were spent.
+	Run(mem ram.Memory) (detected bool, ops uint64)
+}
+
+// MemoryFactory builds a fresh fault-free memory for each trial.
+type MemoryFactory func() ram.Memory
+
+// ClassStat is the per-fault-class tally.
+type ClassStat struct {
+	Total    int
+	Detected int
+}
+
+// Ratio returns the detection ratio (0 when the class is empty).
+func (c ClassStat) Ratio() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.Total)
+}
+
+// Result aggregates one campaign.
+type Result struct {
+	Runner   string
+	Universe string
+	Total    int
+	Detected int
+	ByClass  map[fault.Class]ClassStat
+	// OpsCleanRun is the operation count of the algorithm on a
+	// fault-free memory (the test length).
+	OpsCleanRun uint64
+	// FalsePositive is set when the algorithm flags a fault-free
+	// memory — a broken configuration.
+	FalsePositive bool
+}
+
+// Coverage returns the overall detection ratio.
+func (r Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// Classes returns the classes present, in canonical order.
+func (r Result) Classes() []fault.Class {
+	var out []fault.Class
+	for c := range r.ByClass {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Campaign injects every fault of the universe into a fresh memory and
+// runs the algorithm, fanning trials across workers goroutines
+// (0 = GOMAXPROCS).  Results are deterministic regardless of the
+// worker count.
+func Campaign(r Runner, u fault.Universe, mk MemoryFactory, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := Result{
+		Runner:   r.Name(),
+		Universe: u.Name,
+		Total:    len(u.Faults),
+		ByClass:  make(map[fault.Class]ClassStat),
+	}
+	// Clean baseline.
+	cleanDetected, cleanOps := r.Run(mk())
+	res.OpsCleanRun = cleanOps
+	res.FalsePositive = cleanDetected
+
+	detected := make([]bool, len(u.Faults))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range ch {
+				mem := u.Faults[idx].Inject(mk())
+				d, _ := r.Run(mem)
+				detected[idx] = d
+			}
+		}()
+	}
+	for i := range u.Faults {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	for i, f := range u.Faults {
+		cs := res.ByClass[f.Class()]
+		cs.Total++
+		if detected[i] {
+			cs.Detected++
+			res.Detected++
+		}
+		res.ByClass[f.Class()] = cs
+	}
+	return res
+}
+
+// Sum aggregates the detected/total counts over several fault classes.
+func Sum(byClass map[fault.Class]ClassStat, classes ...fault.Class) (detected, total int) {
+	for _, c := range classes {
+		s := byClass[c]
+		detected += s.Detected
+		total += s.Total
+	}
+	return detected, total
+}
+
+// Compare runs several algorithms over the same universe.
+func Compare(runners []Runner, u fault.Universe, mk MemoryFactory, workers int) []Result {
+	out := make([]Result, len(runners))
+	for i, r := range runners {
+		out[i] = Campaign(r, u, mk, workers)
+	}
+	return out
+}
+
+// --- runner adapters ---
+
+type marchRunner struct {
+	test        march.Test
+	backgrounds []ram.Word
+}
+
+// MarchRunner adapts a March algorithm; backgrounds nil means the
+// single all-zero background.
+func MarchRunner(t march.Test, backgrounds []ram.Word) Runner {
+	if len(backgrounds) == 0 {
+		backgrounds = []ram.Word{0}
+	}
+	return marchRunner{test: t, backgrounds: backgrounds}
+}
+
+func (m marchRunner) Name() string { return m.test.Name }
+
+func (m marchRunner) Run(mem ram.Memory) (bool, uint64) {
+	r := march.RunBackgrounds(m.test, mem, m.backgrounds)
+	return r.Detected, r.Ops
+}
+
+type prtRunner struct{ scheme prt.Scheme }
+
+// PRTRunner adapts a pseudo-ring scheme.
+func PRTRunner(s prt.Scheme) Runner { return prtRunner{scheme: s} }
+
+func (p prtRunner) Name() string { return p.scheme.Name }
+
+func (p prtRunner) Run(mem ram.Memory) (bool, uint64) {
+	r, err := p.scheme.Run(mem)
+	if err != nil {
+		panic(fmt.Sprintf("coverage: scheme %s: %v", p.scheme.Name, err))
+	}
+	return r.Detected, r.Ops
+}
+
+type bitSlicedRunner struct {
+	name string
+	cfgs []prt.BitSlicedConfig
+}
+
+// BitSlicedRunner adapts a bit-sliced lane scheme.
+func BitSlicedRunner(name string, cfgs []prt.BitSlicedConfig) Runner {
+	return bitSlicedRunner{name: name, cfgs: cfgs}
+}
+
+func (b bitSlicedRunner) Name() string { return b.name }
+
+func (b bitSlicedRunner) Run(mem ram.Memory) (bool, uint64) {
+	r, err := prt.RunBitSlicedScheme(b.cfgs, mem)
+	if err != nil {
+		panic(fmt.Sprintf("coverage: bit-sliced %s: %v", b.name, err))
+	}
+	return r.Detected, r.Ops
+}
+
+type dualPortRunner struct {
+	name string
+	run  func(mp *ram.MultiPort) (bool, uint64, error)
+}
+
+// DualPortRunner adapts a dual-port scheme; the faulty memory is
+// wrapped with a two-port front end.
+func DualPortRunner(name string, run func(mp *ram.MultiPort) (bool, uint64, error)) Runner {
+	return dualPortRunner{name: name, run: run}
+}
+
+func (d dualPortRunner) Name() string { return d.name }
+
+func (d dualPortRunner) Run(mem ram.Memory) (bool, uint64) {
+	mp := ram.NewMultiPortOn(mem, 2)
+	det, cycles, err := d.run(mp)
+	if err != nil {
+		panic(fmt.Sprintf("coverage: dual-port %s: %v", d.name, err))
+	}
+	return det, cycles
+}

@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/ram"
+)
+
+// CFin is an inversion coupling fault: an Up (0→1) or Down (1→0)
+// transition of the aggressor bit inverts the victim bit.  Aggressor
+// and victim may live in different cells (inter-word) or in the same
+// cell with different bit positions (intra-word — report Class IWCF).
+type CFin struct {
+	AggCell, AggBit int
+	VicCell, VicBit int
+	Up              bool
+}
+
+// Class implements Fault.
+func (f CFin) Class() Class {
+	if f.AggCell == f.VicCell {
+		return ClassIWCF
+	}
+	return ClassCFin
+}
+
+func (f CFin) String() string {
+	return fmt.Sprintf("CFin<%s>@c%d.b%d->c%d.b%d", arrow(f.Up), f.AggCell, f.AggBit, f.VicCell, f.VicBit)
+}
+
+// Inject implements Fault.
+func (f CFin) Inject(base ram.Memory) ram.Memory {
+	return &cfinMem{Memory: base, f: f}
+}
+
+type cfinMem struct {
+	ram.Memory
+	f CFin
+}
+
+func (m *cfinMem) Write(addr int, v ram.Word) {
+	if addr != m.f.AggCell {
+		m.Memory.Write(addr, v)
+		return
+	}
+	old := m.Memory.Read(addr)
+	trig := triggered(bit(old, m.f.AggBit), bit(v, m.f.AggBit), m.f.Up)
+	if m.f.VicCell == addr {
+		// Intra-word: the coupling disturbs the value being latched.
+		if trig {
+			v = setBit(v, m.f.VicBit, 1^bit(v, m.f.VicBit))
+		}
+		m.Memory.Write(addr, v)
+		return
+	}
+	m.Memory.Write(addr, v)
+	if trig {
+		w := m.Memory.Read(m.f.VicCell)
+		m.Memory.Write(m.f.VicCell, setBit(w, m.f.VicBit, 1^bit(w, m.f.VicBit)))
+	}
+}
+
+// CFid is an idempotent coupling fault: an Up or Down transition of the
+// aggressor bit forces the victim bit to Value.
+type CFid struct {
+	AggCell, AggBit int
+	VicCell, VicBit int
+	Up              bool
+	Value           ram.Word
+}
+
+// Class implements Fault.
+func (f CFid) Class() Class {
+	if f.AggCell == f.VicCell {
+		return ClassIWCF
+	}
+	return ClassCFid
+}
+
+func (f CFid) String() string {
+	return fmt.Sprintf("CFid<%s;%d>@c%d.b%d->c%d.b%d",
+		arrow(f.Up), f.Value&1, f.AggCell, f.AggBit, f.VicCell, f.VicBit)
+}
+
+// Inject implements Fault.
+func (f CFid) Inject(base ram.Memory) ram.Memory {
+	return &cfidMem{Memory: base, f: f}
+}
+
+type cfidMem struct {
+	ram.Memory
+	f CFid
+}
+
+func (m *cfidMem) Write(addr int, v ram.Word) {
+	if addr != m.f.AggCell {
+		m.Memory.Write(addr, v)
+		return
+	}
+	old := m.Memory.Read(addr)
+	trig := triggered(bit(old, m.f.AggBit), bit(v, m.f.AggBit), m.f.Up)
+	if m.f.VicCell == addr {
+		if trig {
+			v = setBit(v, m.f.VicBit, m.f.Value)
+		}
+		m.Memory.Write(addr, v)
+		return
+	}
+	m.Memory.Write(addr, v)
+	if trig {
+		w := m.Memory.Read(m.f.VicCell)
+		m.Memory.Write(m.f.VicCell, setBit(w, m.f.VicBit, m.f.Value))
+	}
+}
+
+// CFst is a state coupling fault: the victim bit is forced to Value
+// whenever the aggressor bit holds AggValue.  Modelled at read time
+// (the forcing is level-sensitive, not event-sensitive).
+type CFst struct {
+	AggCell, AggBit int
+	VicCell, VicBit int
+	AggValue        ram.Word
+	Value           ram.Word
+}
+
+// Class implements Fault.
+func (f CFst) Class() Class {
+	if f.AggCell == f.VicCell {
+		return ClassIWCF
+	}
+	return ClassCFst
+}
+
+func (f CFst) String() string {
+	return fmt.Sprintf("CFst<%d;%d>@c%d.b%d->c%d.b%d",
+		f.AggValue&1, f.Value&1, f.AggCell, f.AggBit, f.VicCell, f.VicBit)
+}
+
+// Inject implements Fault.
+func (f CFst) Inject(base ram.Memory) ram.Memory {
+	return &cfstMem{Memory: base, f: f}
+}
+
+type cfstMem struct {
+	ram.Memory
+	f CFst
+}
+
+func (m *cfstMem) Read(addr int) ram.Word {
+	v := m.Memory.Read(addr)
+	if addr == m.f.VicCell {
+		var agg ram.Word
+		if m.f.AggCell == addr {
+			agg = bit(v, m.f.AggBit)
+		} else {
+			agg = bit(m.Memory.Read(m.f.AggCell), m.f.AggBit)
+		}
+		if agg == m.f.AggValue&1 {
+			v = setBit(v, m.f.VicBit, m.f.Value)
+		}
+	}
+	return v
+}
+
+// BF is a bridging fault: bits (CellA,BitA) and (CellB,BitB) are
+// resistively shorted.  Reads of either bit sense the wired-AND
+// (And=true) or wired-OR of the two stored values.
+type BF struct {
+	CellA, BitA int
+	CellB, BitB int
+	And         bool
+}
+
+// Class implements Fault.
+func (f BF) Class() Class { return ClassBF }
+
+func (f BF) String() string {
+	op := "OR"
+	if f.And {
+		op = "AND"
+	}
+	return fmt.Sprintf("BF%s@c%d.b%d~c%d.b%d", op, f.CellA, f.BitA, f.CellB, f.BitB)
+}
+
+// Inject implements Fault.
+func (f BF) Inject(base ram.Memory) ram.Memory {
+	return &bfMem{Memory: base, f: f}
+}
+
+type bfMem struct {
+	ram.Memory
+	f BF
+}
+
+func (m *bfMem) Read(addr int) ram.Word {
+	v := m.Memory.Read(addr)
+	if addr != m.f.CellA && addr != m.f.CellB {
+		return v
+	}
+	a := bit(m.Memory.Read(m.f.CellA), m.f.BitA)
+	b := bit(m.Memory.Read(m.f.CellB), m.f.BitB)
+	var wired ram.Word
+	if m.f.And {
+		wired = a & b
+	} else {
+		wired = a | b
+	}
+	if addr == m.f.CellA {
+		v = setBit(v, m.f.BitA, wired)
+	}
+	if addr == m.f.CellB {
+		v = setBit(v, m.f.BitB, wired)
+	}
+	return v
+}
+
+// triggered reports whether an old→new bit pair is the watched
+// transition.
+func triggered(old, new ram.Word, up bool) bool {
+	if up {
+		return old == 0 && new == 1
+	}
+	return old == 1 && new == 0
+}
+
+func arrow(up bool) string {
+	if up {
+		return "up"
+	}
+	return "down"
+}

@@ -1,0 +1,380 @@
+// Package fault models the functional memory fault classes the paper
+// evaluates pseudo-ring testing against, following the taxonomy of
+// van de Goor ("Testing Semiconductor Memories", the paper's [1]):
+//
+//   - SAF: stuck-at-0/1 cell (bit) faults
+//   - TF: transition faults (a bit cannot rise ↑ or cannot fall ↓)
+//   - SOF: stuck-open cells (reads return the previous sensed value)
+//   - DRF: data-retention faults (a bit decays after a delay)
+//   - AF: address-decoder faults (no access, aliased access, multi access)
+//   - CFin/CFid/CFst: inversion / idempotent / state coupling faults
+//   - BF: AND/OR bridging faults
+//   - intra-word coupling (aggressor and victim bits in the same cell),
+//     the WOM-specific class §2 of the paper targets with parallel
+//     bit automatons
+//
+// Every fault knows how to inject itself into a fresh memory via
+// Inject, which wraps a base ram.Memory with a behavioural decorator.
+// Injection never mutates the base model's semantics for other cells,
+// so campaigns can reuse one golden model per worker.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/ram"
+)
+
+// Class identifies the functional fault model of a Fault.
+type Class int
+
+// Fault classes, van de Goor taxonomy.
+const (
+	ClassSAF Class = iota
+	ClassTF
+	ClassSOF
+	ClassDRF
+	ClassAF
+	ClassCFin
+	ClassCFid
+	ClassCFst
+	ClassBF
+	ClassIWCF // intra-word coupling
+	ClassNPSF // neighbourhood pattern sensitive
+	numClasses
+)
+
+// Classes lists all classes in declaration order.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+func (c Class) String() string {
+	switch c {
+	case ClassSAF:
+		return "SAF"
+	case ClassTF:
+		return "TF"
+	case ClassSOF:
+		return "SOF"
+	case ClassDRF:
+		return "DRF"
+	case ClassAF:
+		return "AF"
+	case ClassCFin:
+		return "CFin"
+	case ClassCFid:
+		return "CFid"
+	case ClassCFst:
+		return "CFst"
+	case ClassBF:
+		return "BF"
+	case ClassIWCF:
+		return "IWCF"
+	case ClassNPSF:
+		return "NPSF"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Fault is a single injectable memory fault.
+type Fault interface {
+	// Class returns the functional fault model.
+	Class() Class
+	// Inject wraps base with the fault's behaviour.  The wrapper shares
+	// storage with base.
+	Inject(base ram.Memory) ram.Memory
+	// String describes the fault instance, e.g. "SAF1@c17.b2".
+	String() string
+}
+
+// bit returns bit b of v.
+func bit(v ram.Word, b int) ram.Word { return v >> uint(b) & 1 }
+
+// setBit returns v with bit b set to x&1.
+func setBit(v ram.Word, b int, x ram.Word) ram.Word {
+	if x&1 == 1 {
+		return v | 1<<uint(b)
+	}
+	return v &^ (1 << uint(b))
+}
+
+// --- SAF ---
+
+// SAF is a stuck-at fault: bit Bit of cell Cell always reads Value and
+// ignores writes.
+type SAF struct {
+	Cell  int
+	Bit   int
+	Value ram.Word // 0 or 1
+}
+
+// Class implements Fault.
+func (f SAF) Class() Class { return ClassSAF }
+
+func (f SAF) String() string {
+	return fmt.Sprintf("SAF%d@c%d.b%d", f.Value&1, f.Cell, f.Bit)
+}
+
+// Inject implements Fault.
+func (f SAF) Inject(base ram.Memory) ram.Memory {
+	// Force the stored value immediately: a physical stuck-at defect
+	// holds the node at the faulty level from power-on.
+	base.Write(f.Cell, setBit(base.Read(f.Cell), f.Bit, f.Value))
+	return &safMem{Memory: base, f: f}
+}
+
+type safMem struct {
+	ram.Memory
+	f SAF
+}
+
+func (m *safMem) Read(addr int) ram.Word {
+	v := m.Memory.Read(addr)
+	if addr == m.f.Cell {
+		v = setBit(v, m.f.Bit, m.f.Value)
+	}
+	return v
+}
+
+func (m *safMem) Write(addr int, v ram.Word) {
+	if addr == m.f.Cell {
+		v = setBit(v, m.f.Bit, m.f.Value)
+	}
+	m.Memory.Write(addr, v)
+}
+
+// --- TF ---
+
+// TF is a transition fault: bit Bit of cell Cell cannot make the Up
+// (0→1) transition when Up is true, or cannot make the 1→0 transition
+// when Up is false.  The failed transition leaves the old value.
+type TF struct {
+	Cell int
+	Bit  int
+	Up   bool
+}
+
+// Class implements Fault.
+func (f TF) Class() Class { return ClassTF }
+
+func (f TF) String() string {
+	dir := "up"
+	if !f.Up {
+		dir = "down"
+	}
+	return fmt.Sprintf("TF%s@c%d.b%d", dir, f.Cell, f.Bit)
+}
+
+// Inject implements Fault.
+func (f TF) Inject(base ram.Memory) ram.Memory {
+	return &tfMem{Memory: base, f: f}
+}
+
+type tfMem struct {
+	ram.Memory
+	f TF
+}
+
+func (m *tfMem) Write(addr int, v ram.Word) {
+	if addr == m.f.Cell {
+		old := m.Memory.Read(addr)
+		ob, nb := bit(old, m.f.Bit), bit(v, m.f.Bit)
+		if m.f.Up && ob == 0 && nb == 1 {
+			v = setBit(v, m.f.Bit, 0) // rise blocked
+		}
+		if !m.f.Up && ob == 1 && nb == 0 {
+			v = setBit(v, m.f.Bit, 1) // fall blocked
+		}
+	}
+	m.Memory.Write(addr, v)
+}
+
+// --- SOF ---
+
+// SOF is a stuck-open fault: cell Cell is disconnected.  A read of the
+// cell returns the previous value sensed by the read amplifier (the
+// last value read from any cell); writes to the cell are lost.
+type SOF struct {
+	Cell int
+}
+
+// Class implements Fault.
+func (f SOF) Class() Class { return ClassSOF }
+
+func (f SOF) String() string { return fmt.Sprintf("SOF@c%d", f.Cell) }
+
+// Inject implements Fault.
+func (f SOF) Inject(base ram.Memory) ram.Memory {
+	return &sofMem{Memory: base, f: f}
+}
+
+type sofMem struct {
+	ram.Memory
+	f        SOF
+	lastRead ram.Word
+}
+
+func (m *sofMem) Read(addr int) ram.Word {
+	if addr == m.f.Cell {
+		return m.lastRead
+	}
+	v := m.Memory.Read(addr)
+	m.lastRead = v
+	return v
+}
+
+func (m *sofMem) Write(addr int, v ram.Word) {
+	if addr == m.f.Cell {
+		return // write lost
+	}
+	m.Memory.Write(addr, v)
+}
+
+// --- DRF ---
+
+// DRF is a data-retention fault: bit Bit of cell Cell leaks to Decay
+// once Delay memory operations elapse since the cell was last written.
+type DRF struct {
+	Cell  int
+	Bit   int
+	Decay ram.Word // value the bit decays to
+	Delay uint64   // operations before decay
+}
+
+// Class implements Fault.
+func (f DRF) Class() Class { return ClassDRF }
+
+func (f DRF) String() string {
+	return fmt.Sprintf("DRF->%d@c%d.b%d/%d", f.Decay&1, f.Cell, f.Bit, f.Delay)
+}
+
+// Inject implements Fault.
+func (f DRF) Inject(base ram.Memory) ram.Memory {
+	return &drfMem{Memory: base, f: f}
+}
+
+type drfMem struct {
+	ram.Memory
+	f         DRF
+	clock     uint64
+	lastWrite uint64
+}
+
+func (m *drfMem) decayed() bool { return m.clock-m.lastWrite > m.f.Delay }
+
+func (m *drfMem) Read(addr int) ram.Word {
+	m.clock++
+	v := m.Memory.Read(addr)
+	if addr == m.f.Cell && m.decayed() {
+		v = setBit(v, m.f.Bit, m.f.Decay)
+		m.Memory.Write(addr, v) // the charge is really gone
+	}
+	return v
+}
+
+func (m *drfMem) Write(addr int, v ram.Word) {
+	m.clock++
+	if addr == m.f.Cell {
+		m.lastWrite = m.clock
+	}
+	m.Memory.Write(addr, v)
+}
+
+// --- AF ---
+
+// AFKind selects the address-decoder fault class (van de Goor's four
+// decoder fault types, reduced to their functional effect).
+type AFKind int
+
+const (
+	// AFNone: the address activates no cell — reads sense the
+	// discharged bit line (logic 0) and writes are lost.
+	AFNone AFKind = iota
+	// AFAlias: the address activates another cell instead of its own;
+	// the victim cell becomes unreachable and the target doubly mapped.
+	AFAlias
+	// AFMulti: the address activates its own cell and an additional one
+	// simultaneously; reads sense the wired-OR of both.
+	AFMulti
+)
+
+func (k AFKind) String() string {
+	switch k {
+	case AFNone:
+		return "none"
+	case AFAlias:
+		return "alias"
+	case AFMulti:
+		return "multi"
+	default:
+		return fmt.Sprintf("AFKind(%d)", int(k))
+	}
+}
+
+// AF is an address-decoder fault at address Addr.  Target is the other
+// cell involved for AFAlias and AFMulti.
+type AF struct {
+	Kind   AFKind
+	Addr   int
+	Target int
+}
+
+// Class implements Fault.
+func (f AF) Class() Class { return ClassAF }
+
+func (f AF) String() string {
+	switch f.Kind {
+	case AFNone:
+		return fmt.Sprintf("AFnone@a%d", f.Addr)
+	case AFAlias:
+		return fmt.Sprintf("AFalias@a%d->c%d", f.Addr, f.Target)
+	default:
+		return fmt.Sprintf("AFmulti@a%d+c%d", f.Addr, f.Target)
+	}
+}
+
+// Inject implements Fault.
+func (f AF) Inject(base ram.Memory) ram.Memory {
+	return &afMem{Memory: base, f: f}
+}
+
+type afMem struct {
+	ram.Memory
+	f AF
+}
+
+func (m *afMem) Read(addr int) ram.Word {
+	if addr != m.f.Addr {
+		return m.Memory.Read(addr)
+	}
+	switch m.f.Kind {
+	case AFNone:
+		return 0 // discharged bit lines
+	case AFAlias:
+		return m.Memory.Read(m.f.Target)
+	default: // AFMulti: wired-OR of both activated cells
+		return m.Memory.Read(addr) | m.Memory.Read(m.f.Target)
+	}
+}
+
+func (m *afMem) Write(addr int, v ram.Word) {
+	if addr != m.f.Addr {
+		m.Memory.Write(addr, v)
+		return
+	}
+	switch m.f.Kind {
+	case AFNone:
+		// lost
+	case AFAlias:
+		m.Memory.Write(m.f.Target, v)
+	default: // AFMulti: both cells written
+		m.Memory.Write(addr, v)
+		m.Memory.Write(m.f.Target, v)
+	}
+}

@@ -1,0 +1,280 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/ram"
+)
+
+func TestSAFBehaviour(t *testing.T) {
+	m := SAF{Cell: 3, Bit: 1, Value: 1}.Inject(ram.NewWOM(8, 4))
+	// Stuck bit reads 1 regardless of writes.
+	m.Write(3, 0x0)
+	if m.Read(3)&0x2 == 0 {
+		t.Error("stuck-at-1 bit read 0")
+	}
+	// Other bits of the cell still work.
+	m.Write(3, 0x5)
+	if got := m.Read(3); got != 0x7 { // 0x5 | stuck bit 1
+		t.Errorf("read = %x, want 7", got)
+	}
+	// Other cells untouched.
+	m.Write(4, 0xA)
+	if m.Read(4) != 0xA {
+		t.Error("neighbour cell corrupted")
+	}
+}
+
+func TestSAF0Behaviour(t *testing.T) {
+	m := SAF{Cell: 0, Bit: 0, Value: 0}.Inject(ram.NewBOM(4))
+	m.Write(0, 1)
+	if m.Read(0) != 0 {
+		t.Error("stuck-at-0 bit read 1")
+	}
+}
+
+func TestSAFForcesInitialValue(t *testing.T) {
+	base := ram.NewWOM(4, 1)
+	base.Write(2, 1)
+	m := SAF{Cell: 2, Bit: 0, Value: 0}.Inject(base)
+	// A physical SA0 drags the stored node low immediately.
+	if base.Read(2) != 0 || m.Read(2) != 0 {
+		t.Error("injection did not force the stored value")
+	}
+}
+
+func TestTFBehaviour(t *testing.T) {
+	// TF↑: cell cannot rise.
+	m := TF{Cell: 1, Bit: 0, Up: true}.Inject(ram.NewBOM(4))
+	m.Write(1, 1)
+	if m.Read(1) != 0 {
+		t.Error("TF↑ allowed a rise")
+	}
+	// Falling writes still work: preload via a down-fault-free path.
+	m2 := TF{Cell: 1, Bit: 0, Up: false}.Inject(ram.NewBOM(4))
+	m2.Write(1, 1) // rise OK
+	if m2.Read(1) != 1 {
+		t.Fatal("TF↓ blocked a rise")
+	}
+	m2.Write(1, 0) // fall blocked
+	if m2.Read(1) != 1 {
+		t.Error("TF↓ allowed a fall")
+	}
+	// Writing the same value is never a transition.
+	m3 := TF{Cell: 0, Bit: 2, Up: true}.Inject(ram.NewWOM(4, 4))
+	m3.Write(0, 0x0)
+	if m3.Read(0) != 0 {
+		t.Error("idempotent write disturbed TF cell")
+	}
+}
+
+func TestSOFBehaviour(t *testing.T) {
+	base := ram.NewWOM(8, 4)
+	m := SOF{Cell: 2}.Inject(base)
+	m.Write(1, 0x9)
+	m.Write(2, 0xF) // lost
+	if base.Read(2) != 0 {
+		t.Error("SOF write reached the cell")
+	}
+	if got := m.Read(1); got != 0x9 {
+		t.Fatalf("healthy read broken: %x", got)
+	}
+	// Read of the open cell returns the last sensed value (0x9).
+	if got := m.Read(2); got != 0x9 {
+		t.Errorf("SOF read = %x, want last sensed 0x9", got)
+	}
+	// And keeps returning the most recent sense.
+	m.Write(3, 0x4)
+	_ = m.Read(3)
+	if got := m.Read(2); got != 0x4 {
+		t.Errorf("SOF read = %x, want 0x4", got)
+	}
+}
+
+func TestDRFBehaviour(t *testing.T) {
+	m := DRF{Cell: 0, Bit: 0, Decay: 0, Delay: 3}.Inject(ram.NewBOM(4))
+	m.Write(0, 1)
+	if m.Read(0) != 1 { // 1 op since write: no decay
+		t.Fatal("decayed too early")
+	}
+	_ = m.Read(1)
+	_ = m.Read(1)
+	// Now 4 ops since the write: decayed.
+	if m.Read(0) != 0 {
+		t.Error("DRF did not decay after delay")
+	}
+	// Rewriting restores the value and the timer.
+	m.Write(0, 1)
+	if m.Read(0) != 1 {
+		t.Error("rewrite did not restore")
+	}
+}
+
+func TestDRFDecayToOne(t *testing.T) {
+	m := DRF{Cell: 1, Bit: 0, Decay: 1, Delay: 1}.Inject(ram.NewBOM(4))
+	m.Write(1, 0)
+	_ = m.Read(0)
+	_ = m.Read(0)
+	if m.Read(1) != 1 {
+		t.Error("DRF->1 did not decay high")
+	}
+}
+
+func TestAFNone(t *testing.T) {
+	base := ram.NewWOM(8, 4)
+	m := AF{Kind: AFNone, Addr: 5}.Inject(base)
+	m.Write(5, 0xF)
+	if base.Read(5) != 0 {
+		t.Error("AFnone write reached the cell")
+	}
+	m.Write(1, 0x3)
+	_ = m.Read(1)
+	if got := m.Read(5); got != 0 {
+		t.Errorf("AFnone read = %x, want discharged 0", got)
+	}
+}
+
+func TestAFAlias(t *testing.T) {
+	base := ram.NewWOM(8, 4)
+	m := AF{Kind: AFAlias, Addr: 2, Target: 6}.Inject(base)
+	m.Write(2, 0xA) // lands in cell 6
+	if base.Read(6) != 0xA || base.Read(2) != 0 {
+		t.Error("alias write misrouted")
+	}
+	if m.Read(2) != 0xA {
+		t.Error("alias read misrouted")
+	}
+	// The target is also reachable through its own address.
+	if m.Read(6) != 0xA {
+		t.Error("target direct read broken")
+	}
+}
+
+func TestAFMulti(t *testing.T) {
+	base := ram.NewWOM(8, 4)
+	m := AF{Kind: AFMulti, Addr: 1, Target: 4}.Inject(base)
+	m.Write(1, 0x6) // writes both cells
+	if base.Read(1) != 0x6 || base.Read(4) != 0x6 {
+		t.Error("multi write did not fan out")
+	}
+	base.Write(4, 0x9)
+	if got := m.Read(1); got != 0x6|0x9 {
+		t.Errorf("multi read = %x, want wired-OR 0xF", got)
+	}
+}
+
+func TestCFinInterWord(t *testing.T) {
+	base := ram.NewBOM(8)
+	m := CFin{AggCell: 2, VicCell: 5, Up: true}.Inject(base)
+	m.Write(5, 1)
+	m.Write(2, 1) // ↑ on aggressor flips victim
+	if m.Read(5) != 0 {
+		t.Error("CFin↑ did not invert victim")
+	}
+	m.Write(2, 0) // ↓ does not trigger the ↑ fault
+	if m.Read(5) != 0 {
+		t.Error("CFin↑ triggered on a fall")
+	}
+	m.Write(2, 1) // another rise flips again
+	if m.Read(5) != 1 {
+		t.Error("CFin↑ second inversion missing")
+	}
+}
+
+func TestCFinIntraWord(t *testing.T) {
+	f := CFin{AggCell: 3, AggBit: 0, VicCell: 3, VicBit: 2, Up: true}
+	if f.Class() != ClassIWCF {
+		t.Fatalf("intra-word CFin class = %v", f.Class())
+	}
+	m := f.Inject(ram.NewWOM(8, 4))
+	// Writing 0b0101 raises bit0 (0->1): victim bit2 of the written
+	// value is inverted -> stored 0b0001.
+	m.Write(3, 0b0101)
+	if got := m.Read(3); got != 0b0001 {
+		t.Errorf("intra-word CFin stored %04b, want 0001", got)
+	}
+}
+
+func TestCFidBehaviour(t *testing.T) {
+	base := ram.NewBOM(8)
+	m := CFid{AggCell: 0, VicCell: 1, Up: false, Value: 1}.Inject(base)
+	m.Write(0, 1)
+	m.Write(1, 0)
+	m.Write(0, 0) // ↓ forces victim to 1
+	if m.Read(1) != 1 {
+		t.Error("CFid<↓;1> did not force victim")
+	}
+	// Re-triggering when already at the forced value is idempotent.
+	m.Write(0, 1)
+	m.Write(0, 0)
+	if m.Read(1) != 1 {
+		t.Error("CFid idempotence broken")
+	}
+}
+
+func TestCFstBehaviour(t *testing.T) {
+	base := ram.NewBOM(8)
+	m := CFst{AggCell: 4, VicCell: 6, AggValue: 1, Value: 0}.Inject(base)
+	m.Write(6, 1)
+	if m.Read(6) != 1 {
+		t.Fatal("victim disturbed while aggressor at 0")
+	}
+	m.Write(4, 1) // aggressor enters forcing state
+	if m.Read(6) != 0 {
+		t.Error("CFst<1;0> did not force victim low")
+	}
+	m.Write(4, 0)
+	if m.Read(6) != 1 {
+		t.Error("CFst forcing should be level-sensitive")
+	}
+}
+
+func TestBFBehaviour(t *testing.T) {
+	base := ram.NewBOM(8)
+	or := BF{CellA: 0, CellB: 1, And: false}.Inject(base)
+	or.Write(0, 1)
+	or.Write(1, 0)
+	if or.Read(0) != 1 || or.Read(1) != 1 {
+		t.Error("BF-OR should read 1 on both ends")
+	}
+	base2 := ram.NewBOM(8)
+	and := BF{CellA: 0, CellB: 1, And: true}.Inject(base2)
+	and.Write(0, 1)
+	and.Write(1, 0)
+	if and.Read(0) != 0 || and.Read(1) != 0 {
+		t.Error("BF-AND should read 0 on both ends")
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	cases := map[string]Fault{
+		"SAF1@c17.b2":               SAF{Cell: 17, Bit: 2, Value: 1},
+		"TFup@c3.b0":                TF{Cell: 3, Up: true},
+		"SOF@c9":                    SOF{Cell: 9},
+		"DRF->0@c1.b0/100":          DRF{Cell: 1, Delay: 100},
+		"AFnone@a4":                 AF{Kind: AFNone, Addr: 4},
+		"AFalias@a4->c7":            AF{Kind: AFAlias, Addr: 4, Target: 7},
+		"AFmulti@a4+c7":             AF{Kind: AFMulti, Addr: 4, Target: 7},
+		"CFin<up>@c1.b0->c2.b0":     CFin{AggCell: 1, VicCell: 2, Up: true},
+		"CFid<down;1>@c1.b0->c2.b0": CFid{AggCell: 1, VicCell: 2, Up: false, Value: 1},
+		"CFst<1;0>@c1.b0->c2.b0":    CFst{AggCell: 1, VicCell: 2, AggValue: 1, Value: 0},
+		"BFAND@c1.b0~c2.b0":         BF{CellA: 1, CellB: 2, And: true},
+	}
+	for want, f := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := []string{"SAF", "TF", "SOF", "DRF", "AF", "CFin", "CFid", "CFst", "BF", "IWCF", "NPSF"}
+	for i, w := range want {
+		if got := Class(i).String(); got != w {
+			t.Errorf("Class(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if len(Classes()) != len(want) {
+		t.Errorf("Classes() length = %d", len(Classes()))
+	}
+}

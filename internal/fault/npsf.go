@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/ram"
+)
+
+// Neighbourhood pattern sensitive faults (NPSF) complete the van de
+// Goor taxonomy: the base cell misbehaves when its physical
+// neighbourhood (the von Neumann cross N/E/S/W on the cell grid) holds
+// a specific pattern.  The memory's physical geometry is modelled as a
+// row-major grid of the given width.
+//
+// Two sub-types are implemented, both on bit 0 of the cells (NPSF is a
+// bit-array concept; word-oriented arrays interleave bits so logical
+// neighbours differ per bit — the universes below stay bit-oriented as
+// in the classical literature):
+//
+//   - SNPSF (static): while the neighbourhood matches the pattern,
+//     reads of the base cell return Value.
+//   - ANPSF (active): a watched transition of one neighbour, while the
+//     remaining three match the pattern, forces the base cell to Value.
+
+// Neighbourhood is the four von Neumann neighbours of a base cell on a
+// row-major grid; entries are -1 when outside the array (edge cells).
+type Neighbourhood struct {
+	Base       int
+	N, E, S, W int
+}
+
+// GridNeighbourhood computes the neighbourhood of base on a grid of
+// the given width (cells laid out row-major).
+func GridNeighbourhood(base, n, width int) Neighbourhood {
+	if width < 1 {
+		panic("fault: grid width must be positive")
+	}
+	row, col := base/width, base%width
+	nb := Neighbourhood{Base: base, N: -1, E: -1, S: -1, W: -1}
+	if row > 0 {
+		nb.N = base - width
+	}
+	if base+width < n {
+		nb.S = base + width
+	}
+	if col > 0 {
+		nb.W = base - 1
+	}
+	if col < width-1 && base+1 < n {
+		nb.E = base + 1
+	}
+	return nb
+}
+
+// cells returns the in-array neighbours.
+func (nb Neighbourhood) cells() []int {
+	var out []int
+	for _, c := range []int{nb.N, nb.E, nb.S, nb.W} {
+		if c >= 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Complete reports whether all four neighbours exist (interior cell).
+func (nb Neighbourhood) Complete() bool {
+	return nb.N >= 0 && nb.E >= 0 && nb.S >= 0 && nb.W >= 0
+}
+
+// SNPSF is a static neighbourhood pattern sensitive fault: while the
+// four neighbours' bit 0 match Pattern (bit i of Pattern = required
+// value of the i-th neighbour in N,E,S,W order), reads of the base
+// cell's bit 0 return Value.
+type SNPSF struct {
+	Nb      Neighbourhood
+	Pattern ram.Word // 4 bits, N=bit0 E=bit1 S=bit2 W=bit3
+	Value   ram.Word
+}
+
+// Class implements Fault (reported as its own class).
+func (f SNPSF) Class() Class { return ClassNPSF }
+
+func (f SNPSF) String() string {
+	return fmt.Sprintf("SNPSF<%04b;%d>@c%d", uint32(f.Pattern), f.Value&1, f.Nb.Base)
+}
+
+// Inject implements Fault.
+func (f SNPSF) Inject(base ram.Memory) ram.Memory {
+	return &snpsfMem{Memory: base, f: f}
+}
+
+type snpsfMem struct {
+	ram.Memory
+	f SNPSF
+}
+
+func (m *snpsfMem) patternActive() bool {
+	order := []int{m.f.Nb.N, m.f.Nb.E, m.f.Nb.S, m.f.Nb.W}
+	for i, c := range order {
+		want := m.f.Pattern >> uint(i) & 1
+		if c < 0 {
+			return false // incomplete neighbourhood never matches
+		}
+		if m.Memory.Read(c)&1 != want {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *snpsfMem) Read(addr int) ram.Word {
+	v := m.Memory.Read(addr)
+	if addr == m.f.Nb.Base && m.patternActive() {
+		v = setBit(v, 0, m.f.Value)
+	}
+	return v
+}
+
+// ANPSF is an active neighbourhood pattern sensitive fault: a Up/Down
+// transition of bit 0 of the Trigger neighbour (index 0..3 = N,E,S,W),
+// while the other three neighbours match Pattern, forces bit 0 of the
+// base cell to Value.
+type ANPSF struct {
+	Nb      Neighbourhood
+	Trigger int      // which neighbour transitions (0..3 = N,E,S,W)
+	Up      bool     // watched transition direction
+	Pattern ram.Word // required values of the other three (same bit layout)
+	Value   ram.Word
+}
+
+// Class implements Fault.
+func (f ANPSF) Class() Class { return ClassNPSF }
+
+func (f ANPSF) String() string {
+	return fmt.Sprintf("ANPSF<t%d,%s;%d>@c%d", f.Trigger, arrow(f.Up), f.Value&1, f.Nb.Base)
+}
+
+// Inject implements Fault.
+func (f ANPSF) Inject(base ram.Memory) ram.Memory {
+	return &anpsfMem{Memory: base, f: f}
+}
+
+type anpsfMem struct {
+	ram.Memory
+	f ANPSF
+}
+
+func (m *anpsfMem) Write(addr int, v ram.Word) {
+	order := []int{m.f.Nb.N, m.f.Nb.E, m.f.Nb.S, m.f.Nb.W}
+	trig := order[m.f.Trigger]
+	if addr != trig || trig < 0 {
+		m.Memory.Write(addr, v)
+		return
+	}
+	old := m.Memory.Read(addr)
+	fire := triggered(old&1, v&1, m.f.Up)
+	if fire {
+		// The other three neighbours must match the pattern.
+		for i, c := range order {
+			if i == m.f.Trigger {
+				continue
+			}
+			if c < 0 || m.Memory.Read(c)&1 != m.f.Pattern>>uint(i)&1 {
+				fire = false
+				break
+			}
+		}
+	}
+	m.Memory.Write(addr, v)
+	if fire {
+		b := m.Memory.Read(m.f.Nb.Base)
+		m.Memory.Write(m.f.Nb.Base, setBit(b, 0, m.f.Value))
+	}
+}
+
+// NPSFUniverse enumerates static NPSF faults for every interior cell
+// of an n-cell array with the given grid width: all 16 neighbourhood
+// patterns × forced values 0/1 would be 32 per cell; to keep campaign
+// sizes workable the patterns are subsampled with stride (1 = all).
+func NPSFUniverse(n, width, stride int) []Fault {
+	if stride < 1 {
+		stride = 1
+	}
+	var out []Fault
+	for base := 0; base < n; base++ {
+		nb := GridNeighbourhood(base, n, width)
+		if !nb.Complete() {
+			continue
+		}
+		for p := ram.Word(0); p < 16; p += ram.Word(stride) {
+			out = append(out,
+				SNPSF{Nb: nb, Pattern: p, Value: 0},
+				SNPSF{Nb: nb, Pattern: p, Value: 1},
+			)
+		}
+	}
+	return out
+}
+
+// ANPSFUniverse enumerates active NPSF faults: per interior cell, each
+// of the four neighbours as trigger, both directions, with the
+// complementary pattern subsampled by stride.
+func ANPSFUniverse(n, width, stride int) []Fault {
+	if stride < 1 {
+		stride = 1
+	}
+	var out []Fault
+	for base := 0; base < n; base++ {
+		nb := GridNeighbourhood(base, n, width)
+		if !nb.Complete() {
+			continue
+		}
+		for trig := 0; trig < 4; trig++ {
+			for p := ram.Word(0); p < 16; p += ram.Word(stride) {
+				out = append(out,
+					ANPSF{Nb: nb, Trigger: trig, Up: true, Pattern: p, Value: 0},
+					ANPSF{Nb: nb, Trigger: trig, Up: false, Pattern: p, Value: 1},
+				)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/ram"
+)
+
+func TestGridNeighbourhood(t *testing.T) {
+	// 4x4 grid (n=16, width=4).  Cell 5 is interior.
+	nb := GridNeighbourhood(5, 16, 4)
+	if nb.N != 1 || nb.S != 9 || nb.W != 4 || nb.E != 6 {
+		t.Errorf("interior neighbourhood wrong: %+v", nb)
+	}
+	if !nb.Complete() {
+		t.Error("interior cell reported incomplete")
+	}
+	// Corner 0: only S and E.
+	c := GridNeighbourhood(0, 16, 4)
+	if c.N != -1 || c.W != -1 || c.S != 4 || c.E != 1 {
+		t.Errorf("corner neighbourhood wrong: %+v", c)
+	}
+	if c.Complete() {
+		t.Error("corner reported complete")
+	}
+	// Last cell of a partial row.
+	p := GridNeighbourhood(14, 15, 4)
+	if p.S != -1 {
+		t.Errorf("south of cell 14 in 15-cell array should be absent: %+v", p)
+	}
+}
+
+func TestSNPSFBehaviour(t *testing.T) {
+	// 4x4 grid, base 5, neighbours N=1,E=6,S=9,W=4.
+	nb := GridNeighbourhood(5, 16, 4)
+	f := SNPSF{Nb: nb, Pattern: 0b1111, Value: 0}
+	m := f.Inject(ram.NewBOM(16))
+	m.Write(5, 1)
+	if m.Read(5) != 1 {
+		t.Fatal("base disturbed while pattern inactive")
+	}
+	// Activate the pattern: all four neighbours to 1.
+	for _, c := range []int{1, 6, 9, 4} {
+		m.Write(c, 1)
+	}
+	if m.Read(5) != 0 {
+		t.Error("SNPSF did not force base low under full pattern")
+	}
+	// Deactivate one neighbour.
+	m.Write(6, 0)
+	if m.Read(5) != 1 {
+		t.Error("SNPSF forcing should be level-sensitive")
+	}
+}
+
+func TestSNPSFPartialPatternBits(t *testing.T) {
+	nb := GridNeighbourhood(5, 16, 4)
+	// Pattern 0b0001: N=1, others 0.
+	f := SNPSF{Nb: nb, Pattern: 0b0001, Value: 1}
+	m := f.Inject(ram.NewBOM(16))
+	m.Write(1, 1) // N=1; E,S,W are 0 -> pattern active
+	if m.Read(5) != 1 {
+		t.Error("pattern with zeros not recognised")
+	}
+}
+
+func TestANPSFBehaviour(t *testing.T) {
+	nb := GridNeighbourhood(5, 16, 4)
+	// Trigger = E (index 1) rising while N,S,W are 0 forces base to 1.
+	f := ANPSF{Nb: nb, Trigger: 1, Up: true, Pattern: 0, Value: 1}
+	m := f.Inject(ram.NewBOM(16))
+	m.Write(5, 0)
+	m.Write(6, 1) // E rises, N/S/W all 0 -> fires
+	if m.Read(5) != 1 {
+		t.Error("ANPSF did not fire")
+	}
+	// Reset and block the pattern.
+	m.Write(6, 0)
+	m.Write(5, 0)
+	m.Write(1, 1) // N=1 breaks the pattern
+	m.Write(6, 1) // E rises but pattern mismatched
+	if m.Read(5) != 0 {
+		t.Error("ANPSF fired despite pattern mismatch")
+	}
+}
+
+func TestNPSFUniverses(t *testing.T) {
+	u := NPSFUniverse(16, 4, 1)
+	// 4 interior cells (5,6,9,10) × 16 patterns × 2 values.
+	if len(u) != 4*16*2 {
+		t.Fatalf("SNPSF universe = %d, want 128", len(u))
+	}
+	for _, f := range u {
+		if f.Class() != ClassNPSF {
+			t.Fatal("wrong class in NPSF universe")
+		}
+	}
+	a := ANPSFUniverse(16, 4, 4)
+	// 4 interior × 4 triggers × 4 sampled patterns × 2.
+	if len(a) != 4*4*4*2 {
+		t.Fatalf("ANPSF universe = %d, want 128", len(a))
+	}
+	// Strides below 1 are clamped.
+	if len(NPSFUniverse(16, 4, 0)) != len(u) {
+		t.Error("stride clamp broken")
+	}
+}
+
+func TestNPSFStrings(t *testing.T) {
+	nb := GridNeighbourhood(5, 16, 4)
+	if (SNPSF{Nb: nb, Pattern: 5, Value: 1}).String() == "" {
+		t.Error("SNPSF string empty")
+	}
+	if (ANPSF{Nb: nb, Trigger: 2, Up: true}).String() == "" {
+		t.Error("ANPSF string empty")
+	}
+}
+
+func TestNPSFDetectableByMarchLikeProbe(t *testing.T) {
+	// Sanity: NPSF instances are observable by the generic probe.
+	nb := GridNeighbourhood(5, 16, 4)
+	faults := []Fault{
+		SNPSF{Nb: nb, Pattern: 0b1111, Value: 0},
+		SNPSF{Nb: nb, Pattern: 0b0000, Value: 1},
+		ANPSF{Nb: nb, Trigger: 0, Up: true, Pattern: 0, Value: 1},
+	}
+	for _, f := range faults {
+		if !observable(f, 16, 1) {
+			t.Errorf("%v not observable", f)
+		}
+	}
+}

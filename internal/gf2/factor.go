@@ -1,0 +1,184 @@
+package gf2
+
+import "sort"
+
+// Factorisation machinery for polynomials over GF(2): squarefree
+// decomposition, distinct-degree factorisation and equal-degree
+// splitting (deterministic trace method).  The headline consumer is
+// OrderAny, which computes the period of an LFSR whose characteristic
+// polynomial is *not* irreducible — the paper's quality factor 1
+// (polynomial structure) in full generality.
+
+// Factor returns the complete factorisation of p as irreducible
+// factors with multiplicities, sorted by (degree, value).  p must be
+// nonzero; Factor(1) returns no factors.
+func Factor(p Poly) (factors []Poly, mults []int) {
+	if p == 0 {
+		panic("gf2: Factor of zero polynomial")
+	}
+	work := map[Poly]int{}
+	var rec func(q Poly, mult int)
+	rec = func(q Poly, mult int) {
+		if q.Deg() < 1 {
+			return
+		}
+		// Pull out the content of x first.
+		for q.Coeff(0) == 0 {
+			work[X] += mult
+			q >>= 1
+		}
+		if q.Deg() < 1 {
+			return
+		}
+		// Squarefree split: gcd(q, q') isolates repeated factors.
+		d := q.Derivative()
+		if d == 0 {
+			// q = r(x)^2 over GF(2): take the square root and recurse.
+			rec(sqrt(q), 2*mult)
+			return
+		}
+		g := GCD(q, d)
+		if g.Deg() > 0 {
+			rec(g, mult)
+			rec(q.Div(g), mult)
+			return
+		}
+		// q squarefree: distinct-degree then equal-degree.
+		for _, f := range factorSquarefree(q) {
+			work[f] += mult
+		}
+	}
+	rec(p, 1)
+
+	for f := range work {
+		factors = append(factors, f)
+	}
+	sort.Slice(factors, func(i, j int) bool {
+		if factors[i].Deg() != factors[j].Deg() {
+			return factors[i].Deg() < factors[j].Deg()
+		}
+		return factors[i] < factors[j]
+	})
+	mults = make([]int, len(factors))
+	for i, f := range factors {
+		mults[i] = work[f]
+	}
+	return factors, mults
+}
+
+// sqrt returns the square root of a polynomial that is a perfect
+// square over GF(2) (all exponents even): sqrt(Σ x^(2i)) = Σ x^i.
+func sqrt(p Poly) Poly {
+	var r Poly
+	for i := 0; i <= p.Deg(); i += 2 {
+		if p.Coeff(i) == 1 {
+			r = r.SetCoeff(i/2, 1)
+		}
+	}
+	return r
+}
+
+// factorSquarefree factors a squarefree polynomial with nonzero
+// constant term into irreducibles.
+func factorSquarefree(q Poly) []Poly {
+	var out []Poly
+	// Distinct-degree: strip factors of degree d by
+	// gcd(q, x^(2^d) - x).
+	rem := q
+	h := X.Mod(rem) // x^(2^d) mod rem, updated per d
+	for d := 1; rem.Deg() >= 1; d++ {
+		if 2*d > rem.Deg() {
+			// What remains is irreducible.
+			out = append(out, rem)
+			break
+		}
+		h = MulMod(h, h, rem) // h = x^(2^d) mod rem
+		g := GCD(h.Add(X.Mod(rem)), rem)
+		if g.Deg() > 0 {
+			out = append(out, equalDegreeSplit(g, d)...)
+			rem = rem.Div(g)
+			h = h.Mod(rem)
+		}
+		if rem.Deg() == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// equalDegreeSplit splits a product of distinct irreducibles, all of
+// degree d, into its factors using the deterministic GF(2) trace
+// method: for successive basis polynomials b, the trace map
+// T(b) = b + b^2 + b^4 + … + b^(2^(kd-1)) mod f takes values 0/1 on
+// each factor's residue field, and gcd(f, T(b)) separates them.
+func equalDegreeSplit(f Poly, d int) []Poly {
+	if f.Deg() == d {
+		return []Poly{f}
+	}
+	n := f.Deg()
+	for bdeg := 1; bdeg < n; bdeg++ {
+		b := Poly(1) << uint(bdeg) // monomial x^bdeg
+		// Trace over GF(2^d)-relative extension: sum of b^(2^(i·?)) —
+		// over GF(2) the absolute trace T(b) = Σ_{i<n? } b^(2^i) with
+		// n the degree of f restricted per factor; using the absolute
+		// trace to GF(2) of the degree-d factors: Σ_{i=0}^{d-1} b^(2^i).
+		t := Poly(0)
+		pow := b.Mod(f)
+		for i := 0; i < d; i++ {
+			t = t.Add(pow)
+			pow = MulMod(pow, pow, f)
+		}
+		g := GCD(t, f)
+		if g.Deg() > 0 && g.Deg() < f.Deg() {
+			left := equalDegreeSplit(g, d)
+			right := equalDegreeSplit(f.Div(g), d)
+			return append(left, right...)
+		}
+		g1 := GCD(t.Add(One), f)
+		if g1.Deg() > 0 && g1.Deg() < f.Deg() {
+			left := equalDegreeSplit(g1, d)
+			right := equalDegreeSplit(f.Div(g1), d)
+			return append(left, right...)
+		}
+	}
+	// Should be unreachable for valid inputs.
+	return []Poly{f}
+}
+
+// OrderAny returns the multiplicative order of x modulo p for any p
+// with nonzero constant term (p need not be irreducible): the period
+// of an LFSR with characteristic polynomial p, maximised over initial
+// states.  For p = Π f_i^{e_i} the order is
+//
+//	lcm_i( Order(f_i) ) · 2^ceil(log2 max_i e_i) .
+func OrderAny(p Poly) uint64 {
+	if p.Coeff(0) == 0 {
+		panic("gf2: OrderAny requires nonzero constant term")
+	}
+	if p.Deg() < 1 {
+		panic("gf2: OrderAny requires degree >= 1")
+	}
+	factors, mults := Factor(p)
+	l := uint64(1)
+	maxMult := 1
+	for i, f := range factors {
+		l = lcm64(l, Order(f))
+		if mults[i] > maxMult {
+			maxMult = mults[i]
+		}
+	}
+	// Multiplicity e multiplies the order by the least power of 2 >= e.
+	for pow := 1; pow < maxMult; pow *= 2 {
+		l *= 2
+	}
+	return l
+}
+
+func gcd64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b uint64) uint64 { return a / gcd64(a, b) * b }

@@ -1,0 +1,159 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func reassemble(factors []Poly, mults []int) Poly {
+	p := One
+	for i, f := range factors {
+		for e := 0; e < mults[i]; e++ {
+			p = p.Mul(f)
+		}
+	}
+	return p
+}
+
+func TestFactorKnown(t *testing.T) {
+	cases := []struct {
+		p       Poly
+		factors []Poly
+		mults   []int
+	}{
+		{0x13, []Poly{0x13}, []int{1}},                      // irreducible
+		{0x15, []Poly{0x7}, []int{2}},                       // (x^2+x+1)^2
+		{0x6, []Poly{X, 0x3}, []int{1, 1}},                  // x(x+1)
+		{0x9, []Poly{0x3, 0x7}, []int{1, 1}},                // (x+1)(x^2+x+1)
+		{0x11, []Poly{0x3}, []int{4}},                       // (x+1)^4
+		{Poly(0xB).Mul(0xD), []Poly{0xB, 0xD}, []int{1, 1}}, // two cubics
+	}
+	for _, c := range cases {
+		fs, ms := Factor(c.p)
+		if len(fs) != len(c.factors) {
+			t.Errorf("Factor(%#x) = %v/%v, want %v/%v", uint64(c.p), fs, ms, c.factors, c.mults)
+			continue
+		}
+		for i := range fs {
+			if fs[i] != c.factors[i] || ms[i] != c.mults[i] {
+				t.Errorf("Factor(%#x) = %v^%v, want %v^%v", uint64(c.p), fs, ms, c.factors, c.mults)
+			}
+		}
+	}
+}
+
+func TestFactorExhaustiveSmall(t *testing.T) {
+	// Every polynomial of degree 1..12 must reassemble from its factors,
+	// and every factor must be irreducible.
+	for p := Poly(2); p < 1<<13; p++ {
+		fs, ms := Factor(p)
+		if got := reassemble(fs, ms); got != p {
+			t.Fatalf("Factor(%#x) does not reassemble: %v^%v -> %#x", uint64(p), fs, ms, uint64(got))
+		}
+		for _, f := range fs {
+			if !IsIrreducible(f) {
+				t.Fatalf("Factor(%#x) produced reducible factor %v", uint64(p), f)
+			}
+		}
+	}
+}
+
+func TestFactorUnitAndZero(t *testing.T) {
+	fs, ms := Factor(1)
+	if len(fs) != 0 || len(ms) != 0 {
+		t.Errorf("Factor(1) = %v^%v", fs, ms)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Factor(0) did not panic")
+		}
+	}()
+	Factor(0)
+}
+
+func TestSqrt(t *testing.T) {
+	for _, p := range []Poly{0x7, 0x13, 0xB5} {
+		sq := p.Mul(p)
+		if got := sqrt(sq); got != p {
+			t.Errorf("sqrt(%v^2) = %v", p, got)
+		}
+	}
+}
+
+func TestOrderAnyIrreducibleAgrees(t *testing.T) {
+	for _, p := range []Poly{0x7, 0xB, 0x13, 0x11B, 0x11D} {
+		if OrderAny(p) != Order(p) {
+			t.Errorf("OrderAny(%#x) = %d, Order = %d", uint64(p), OrderAny(p), Order(p))
+		}
+	}
+}
+
+func TestOrderAnyBruteForce(t *testing.T) {
+	// Compare with direct computation x^e mod p for every p of degree
+	// 2..9 with nonzero constant term.
+	for p := Poly(5); p < 1<<10; p += 1 {
+		if p.Coeff(0) == 0 || p.Deg() < 2 {
+			continue
+		}
+		want := bruteOrder(p)
+		if got := OrderAny(p); got != want {
+			t.Fatalf("OrderAny(%#x) = %d, brute force %d", uint64(p), got, want)
+		}
+	}
+}
+
+func bruteOrder(p Poly) uint64 {
+	v := X.Mod(p)
+	e := uint64(1)
+	for v != One {
+		v = MulMod(v, X, p)
+		e++
+		if e > 1<<16 {
+			panic("brute order runaway")
+		}
+	}
+	return e
+}
+
+func TestOrderAnyComposite(t *testing.T) {
+	// (x^2+x+1)(x^3+x+1): lcm(3,7) = 21.
+	if got := OrderAny(Poly(0x7).Mul(0xB)); got != 21 {
+		t.Errorf("order of product = %d, want 21", got)
+	}
+	// (x^2+x+1)^2: 3 * 2 = 6.
+	if got := OrderAny(0x15); got != 6 {
+		t.Errorf("order of square = %d, want 6", got)
+	}
+	// (x+1)^3: order of (x+1) is 1; multiplicity 3 -> 2^2 = 4.
+	p := Poly(3).Mul(3).Mul(3)
+	if got := OrderAny(p); got != 4 {
+		t.Errorf("order of (x+1)^3 = %d, want 4", got)
+	}
+}
+
+func TestOrderAnyPanics(t *testing.T) {
+	for _, p := range []Poly{0x6, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OrderAny(%#x) should panic", uint64(p))
+				}
+			}()
+			OrderAny(p)
+		}()
+	}
+}
+
+func TestQuickFactorRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		p := Poly(a)
+		if p == 0 {
+			return true
+		}
+		fs, ms := Factor(p)
+		return reassemble(fs, ms) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package gf2
+
+// IsIrreducible reports whether p is irreducible over GF(2) using
+// Rabin's test: p of degree k is irreducible iff
+//
+//	x^(2^k)  ≡ x (mod p), and
+//	gcd(x^(2^(k/q)) - x, p) = 1 for every prime q dividing k.
+//
+// Constant polynomials and the zero polynomial are not irreducible; the
+// degree-1 polynomials x and x+1 are.
+func IsIrreducible(p Poly) bool {
+	k := p.Deg()
+	if k <= 0 {
+		return false
+	}
+	if k == 1 {
+		return true
+	}
+	// Any polynomial with zero constant term is divisible by x.
+	if p.Coeff(0) == 0 {
+		return false
+	}
+	// An even coefficient weight means p(1)=0, i.e. divisible by x+1.
+	if p.Weight()%2 == 0 {
+		return false
+	}
+	// Rabin: for each prime q | k, gcd(x^(2^(k/q)) + x, p) must be 1.
+	for _, q := range primeFactorsInt(k) {
+		h := frobeniusPower(k/q, p) // x^(2^(k/q)) mod p
+		if GCD(h.Add(X.Mod(p)), p) != One {
+			return false
+		}
+	}
+	// And x^(2^k) ≡ x (mod p).
+	return frobeniusPower(k, p) == X.Mod(p)
+}
+
+// frobeniusPower returns x^(2^t) mod p by repeated squaring of x.
+func frobeniusPower(t int, p Poly) Poly {
+	r := X.Mod(p)
+	for i := 0; i < t; i++ {
+		r = MulMod(r, r, p)
+	}
+	return r
+}
+
+// primeFactorsInt returns the distinct prime factors of n (n >= 1) in
+// ascending order.
+func primeFactorsInt(n int) []int {
+	var f []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			f = append(f, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		f = append(f, n)
+	}
+	return f
+}
+
+// Irreducibles returns all irreducible polynomials of exactly degree k
+// in ascending numeric order.  It is intended for small k (the count
+// grows like 2^k/k); k must be between 1 and 24.
+func Irreducibles(k int) []Poly {
+	if k < 1 || k > 24 {
+		panic("gf2: Irreducibles degree out of range [1,24]")
+	}
+	var out []Poly
+	lo := Poly(1) << uint(k)
+	hi := Poly(1) << uint(k+1)
+	for p := lo; p < hi; p++ {
+		if IsIrreducible(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FirstIrreducible returns the numerically smallest irreducible
+// polynomial of degree k.
+func FirstIrreducible(k int) Poly {
+	if k < 1 || k > MaxDegree {
+		panic("gf2: FirstIrreducible degree out of range")
+	}
+	lo := Poly(1) << uint(k)
+	hi := Poly(1)<<uint(k+1) - 1
+	for p := lo; ; p++ {
+		if IsIrreducible(p) {
+			return p
+		}
+		if p == hi {
+			panic("gf2: no irreducible polynomial found (unreachable)")
+		}
+	}
+}
+
+// CountIrreducibles returns the number of monic irreducible polynomials
+// of degree k over GF(2), computed by the necklace-counting formula
+//
+//	N(k) = (1/k) * Σ_{d|k} μ(k/d) 2^d .
+func CountIrreducibles(k int) uint64 {
+	if k < 1 || k > 62 {
+		panic("gf2: CountIrreducibles degree out of range")
+	}
+	var sum int64
+	for d := 1; d <= k; d++ {
+		if k%d != 0 {
+			continue
+		}
+		mu := moebius(k / d)
+		if mu == 0 {
+			continue
+		}
+		sum += int64(mu) * int64(uint64(1)<<uint(d))
+	}
+	return uint64(sum) / uint64(k)
+}
+
+// moebius returns the Möbius function μ(n).
+func moebius(n int) int {
+	if n == 1 {
+		return 1
+	}
+	mu := 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			n /= d
+			if n%d == 0 {
+				return 0 // square factor
+			}
+			mu = -mu
+		}
+	}
+	if n > 1 {
+		mu = -mu
+	}
+	return mu
+}

@@ -1,0 +1,41 @@
+package gf2
+
+import "sync"
+
+// DefaultModulus returns the default field modulus p(z) used throughout
+// the repository for GF(2^m): the numerically smallest primitive
+// polynomial of degree m.  For m = 4 this is 1 + z + z^4 (0x13), the
+// modulus used in the paper's worked example.
+//
+// The result is cached; concurrent callers are safe.
+func DefaultModulus(m int) Poly {
+	if m < 1 || m > 32 {
+		panic("gf2: DefaultModulus degree out of range [1,32]")
+	}
+	moduliMu.Lock()
+	defer moduliMu.Unlock()
+	if p, ok := moduli[m]; ok {
+		return p
+	}
+	p := FirstPrimitive(m)
+	moduli[m] = p
+	return p
+}
+
+var (
+	moduliMu sync.Mutex
+	moduli   = map[int]Poly{
+		// Pre-seeded entries double as documentation of the well-known
+		// low-degree primitive trinomials/pentanomials; DefaultModulus
+		// verifies nothing here — the test suite asserts each equals
+		// FirstPrimitive(m).
+		1: 0x3,   // 1 + z
+		2: 0x7,   // 1 + z + z^2
+		3: 0xB,   // 1 + z + z^3
+		4: 0x13,  // 1 + z + z^4   (paper's p(z))
+		5: 0x25,  // 1 + z^2 + z^5
+		6: 0x43,  // 1 + z + z^6
+		7: 0x83,  // 1 + z + z^7
+		8: 0x11D, // 1 + z^2 + z^3 + z^4 + z^8
+	}
+)

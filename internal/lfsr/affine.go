@@ -1,0 +1,144 @@
+package lfsr
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// Affine is an affine automaton over GF(2^m): a word LFSR whose
+// recurrence adds a constant offset,
+//
+//	u_t = a₁·u_{t-1} ⊕ … ⊕ a_k·u_{t-k} ⊕ q .
+//
+// With q = 2^m - 1 (all ones) and the complemented seed, the generated
+// sequence is the bitwise complement of the plain LFSR sequence — the
+// mechanism pseudo-ring testing uses to build a complementary test
+// data background (the paper's "specific TDB") out of one extra XOR
+// layer of hardware.
+type Affine struct {
+	gen    GenPoly
+	offset gf.Elem
+	state  []gf.Elem
+}
+
+// NewAffine returns an affine automaton with the given generator,
+// offset q and initial window (oldest first).
+func NewAffine(g GenPoly, offset gf.Elem, init []gf.Elem) (*Affine, error) {
+	if !g.Field.Contains(offset) {
+		return nil, fmt.Errorf("lfsr: offset %#x outside field", uint32(offset))
+	}
+	w, err := NewWord(g, init)
+	if err != nil {
+		return nil, err
+	}
+	return &Affine{gen: g, offset: offset, state: w.State()}, nil
+}
+
+// MustAffine is NewAffine but panics on error.
+func MustAffine(g GenPoly, offset gf.Elem, init []gf.Elem) *Affine {
+	a, err := NewAffine(g, offset, init)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// K returns the register length.
+func (a *Affine) K() int { return a.gen.K() }
+
+// Offset returns the additive constant q.
+func (a *Affine) Offset() gf.Elem { return a.offset }
+
+// State returns a copy of the state window (oldest first).
+func (a *Affine) State() []gf.Elem {
+	out := make([]gf.Elem, len(a.state))
+	copy(out, a.state)
+	return out
+}
+
+// Step advances one clock and returns the value shifted in.
+func (a *Affine) Step() gf.Elem {
+	f := a.gen.Field
+	k := a.K()
+	acc := a.offset
+	for j := 1; j <= k; j++ {
+		acc = f.Add(acc, f.Mul(a.gen.Coeffs[j], a.state[k-j]))
+	}
+	copy(a.state, a.state[1:])
+	a.state[len(a.state)-1] = acc
+	return acc
+}
+
+// Sequence returns u_0 … u_{n-1} including the seed window, without
+// mutating the automaton.
+func (a *Affine) Sequence(n int) []gf.Elem {
+	cp := MustAffine(a.gen, a.offset, a.State())
+	out := make([]gf.Elem, 0, n)
+	out = append(out, cp.state...)
+	if n <= len(out) {
+		return out[:n]
+	}
+	for len(out) < n {
+		out = append(out, cp.Step())
+	}
+	return out
+}
+
+// Period returns the period of the affine orbit containing the current
+// state (by Brent's algorithm; affine maps with invertible linear part
+// are bijective, so orbits are pure cycles).  maxSteps of 0 uses the
+// bound (2^m)^k.
+func (a *Affine) Period(maxSteps uint64) uint64 {
+	if maxSteps == 0 {
+		bits := a.gen.Field.M() * a.K()
+		if bits >= 64 {
+			maxSteps = ^uint64(0)
+		} else {
+			maxSteps = uint64(1) << uint(bits)
+		}
+	}
+	tortoise := MustAffine(a.gen, a.offset, a.State())
+	hare := MustAffine(a.gen, a.offset, a.State())
+	var power, lam uint64 = 1, 0
+	hare.Step()
+	lam = 1
+	for !equalStates(tortoise.state, hare.state) {
+		if power == lam {
+			tortoise.state = hare.State()
+			power *= 2
+			lam = 0
+		}
+		hare.Step()
+		lam++
+		if lam > maxSteps {
+			return 0
+		}
+	}
+	return lam
+}
+
+// AffineJumpAhead returns the affine automaton state after n steps from
+// state, in O((k+1)³ log n) field operations using the homogeneous
+// trick: embed the affine map S ↦ C·S + D into the (k+1)×(k+1) linear
+// map [[C D],[0 1]].
+func AffineJumpAhead(g GenPoly, offset gf.Elem, state []gf.Elem, n uint64) ([]gf.Elem, error) {
+	if len(state) != g.K() {
+		return nil, fmt.Errorf("lfsr: state length %d != k=%d", len(state), g.K())
+	}
+	k := g.K()
+	f := g.Field
+	c := Companion(g)
+	h := NewMatrix(f, k+1)
+	for i := 0; i < k; i++ {
+		copy(h.A[i][:k], c.A[i])
+	}
+	h.A[k-1][k] = offset // the new element's constant term
+	h.A[k][k] = 1
+	hn := h.Pow(n)
+	v := make([]gf.Elem, k+1)
+	copy(v, state)
+	v[k] = 1
+	out := hn.Apply(v)
+	return out[:k], nil
+}

@@ -1,0 +1,116 @@
+package lfsr
+
+import (
+	"testing"
+
+	"repro/internal/gf"
+)
+
+func TestAffineZeroOffsetMatchesWord(t *testing.T) {
+	g := PaperGenPoly()
+	a := MustAffine(g, 0, []gf.Elem{0, 1})
+	w := MustWord(g, []gf.Elem{0, 1})
+	for i := 0; i < 300; i++ {
+		if a.Step() != w.Step() {
+			t.Fatalf("affine(q=0) diverged from word LFSR at step %d", i)
+		}
+	}
+}
+
+func TestAffineComplementSequence(t *testing.T) {
+	// Over GF(2^m), the affine automaton with offset mask and
+	// complemented seed generates the bitwise complement sequence.
+	g := PaperGenPoly()
+	mask := g.Field.Mask()
+	plain := MustWord(g, []gf.Elem{1, 0})
+	comp := MustAffine(g, mask, []gf.Elem{1 ^ mask, 0 ^ mask})
+	ps := plain.Sequence(100)
+	cs := comp.Sequence(100)
+	for i := range ps {
+		if cs[i] != ps[i]^mask {
+			t.Fatalf("complement property broken at %d: %x vs %x", i, cs[i], ps[i])
+		}
+	}
+}
+
+func TestAffineComplementGF2(t *testing.T) {
+	f := gf.NewField(1)
+	g := MustGenPoly(f, []gf.Elem{1, 1, 1})
+	plain := MustWord(g, []gf.Elem{1, 0})
+	comp := MustAffine(g, 1, []gf.Elem{0, 1})
+	ps := plain.Sequence(30)
+	cs := comp.Sequence(30)
+	for i := range ps {
+		if cs[i] != ps[i]^1 {
+			t.Fatalf("GF(2) complement broken at %d", i)
+		}
+	}
+}
+
+func TestAffineJumpAheadMatchesStepping(t *testing.T) {
+	g := PaperGenPoly()
+	for _, q := range []gf.Elem{0, 1, 0xF, 7} {
+		for _, n := range []uint64{0, 1, 5, 100, 255, 1000} {
+			a := MustAffine(g, q, []gf.Elem{3, 9})
+			for i := uint64(0); i < n; i++ {
+				a.Step()
+			}
+			jumped, err := AffineJumpAhead(g, q, []gf.Elem{3, 9}, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalStates(a.State(), jumped) {
+				t.Errorf("q=%x n=%d: jump %v != step %v", q, n, jumped, a.State())
+			}
+		}
+	}
+}
+
+func TestAffinePeriod(t *testing.T) {
+	g := PaperGenPoly()
+	// q=0 from a nonzero state: the plain 255 cycle.
+	if got := MustAffine(g, 0, []gf.Elem{0, 1}).Period(0); got != 255 {
+		t.Errorf("q=0 period = %d", got)
+	}
+	// Complement automaton also has period 255 (conjugate orbit).
+	mask := g.Field.Mask()
+	if got := MustAffine(g, mask, []gf.Elem{0 ^ mask, 1 ^ mask}).Period(0); got != 255 {
+		t.Errorf("complement period = %d", got)
+	}
+}
+
+func TestAffineValidation(t *testing.T) {
+	g := PaperGenPoly()
+	if _, err := NewAffine(g, 0x10, []gf.Elem{0, 1}); err == nil {
+		t.Error("out-of-field offset accepted")
+	}
+	if _, err := NewAffine(g, 0, []gf.Elem{1}); err == nil {
+		t.Error("short seed accepted")
+	}
+	if _, err := AffineJumpAhead(g, 0, []gf.Elem{1}, 5); err == nil {
+		t.Error("short state accepted by jump-ahead")
+	}
+}
+
+func TestAffineAccessors(t *testing.T) {
+	g := PaperGenPoly()
+	a := MustAffine(g, 7, []gf.Elem{2, 3})
+	if a.K() != 2 || a.Offset() != 7 {
+		t.Error("accessors wrong")
+	}
+	s := a.State()
+	s[0] = 9
+	if a.State()[0] != 2 {
+		t.Error("State aliased internal slice")
+	}
+	if got := a.Sequence(2); got[0] != 2 || got[1] != 3 {
+		t.Errorf("Sequence prefix = %v", got)
+	}
+}
+
+func TestAffinePeriodCap(t *testing.T) {
+	g := PaperGenPoly()
+	if got := MustAffine(g, 1, []gf.Elem{0, 1}).Period(3); got != 0 {
+		t.Errorf("capped period should return 0, got %d", got)
+	}
+}

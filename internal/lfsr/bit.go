@@ -1,0 +1,169 @@
+// Package lfsr implements linear feedback shift registers over GF(2)
+// (bit-oriented) and over GF(2^m) (word-oriented).
+//
+// The word-oriented LFSR is the "virtual linear automaton" of the
+// paper: a π-test iteration walks its state sequence through the memory
+// array, and the expected final state Fin* is obtained by stepping the
+// LFSR model the same number of times.  The recurrence convention
+// matches the paper's generator polynomial g(x) = 1 + a₁x + … + a_k x^k:
+//
+//	u_t = a₁·u_{t-1} ⊕ a₂·u_{t-2} ⊕ … ⊕ a_k·u_{t-k}
+//
+// so the paper's g(x) = 1 + 2x + 2x² over GF(2⁴) produces the Fig. 1b
+// sequence 0, 1, 2, 6, 8, F, … .
+package lfsr
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// Form selects the feedback topology of a bit-oriented LFSR.
+type Form int
+
+const (
+	// Fibonacci (external-XOR) form: taps feed a single XOR into the
+	// serial input.
+	Fibonacci Form = iota
+	// Galois (internal-XOR) form: the output bit XORs into each tapped
+	// stage.  Same sequence family, different per-step cost profile.
+	Galois
+)
+
+func (f Form) String() string {
+	switch f {
+	case Fibonacci:
+		return "Fibonacci"
+	case Galois:
+		return "Galois"
+	default:
+		return fmt.Sprintf("Form(%d)", int(f))
+	}
+}
+
+// Bit is a bit-oriented LFSR with characteristic polynomial p(x) of
+// degree k stored in the low k bits of state.  The zero state is a
+// fixed point (as in hardware); seed with a nonzero value for maximal
+// sequences.
+type Bit struct {
+	poly  gf2.Poly // characteristic polynomial, degree k
+	k     int
+	mask  uint64
+	taps  uint64 // poly without the leading term
+	form  Form
+	state uint64
+}
+
+// NewBit returns a bit-oriented LFSR for the characteristic polynomial
+// p (degree 1..63, nonzero constant term) in the given form, seeded
+// with seed (masked to k bits).
+func NewBit(p gf2.Poly, form Form, seed uint64) (*Bit, error) {
+	k := p.Deg()
+	if k < 1 || k > 63 {
+		return nil, fmt.Errorf("lfsr: polynomial degree %d out of range [1,63]", k)
+	}
+	if p.Coeff(0) == 0 {
+		return nil, fmt.Errorf("lfsr: polynomial %v has zero constant term (singular LFSR)", p)
+	}
+	if form != Fibonacci && form != Galois {
+		return nil, fmt.Errorf("lfsr: unknown form %d", int(form))
+	}
+	b := &Bit{
+		poly: p,
+		k:    k,
+		mask: 1<<uint(k) - 1,
+		taps: uint64(p) & (1<<uint(k) - 1),
+		form: form,
+	}
+	b.Seed(seed)
+	return b, nil
+}
+
+// MustBit is NewBit but panics on error, for tests and constants.
+func MustBit(p gf2.Poly, form Form, seed uint64) *Bit {
+	b, err := NewBit(p, form, seed)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// K returns the register length (polynomial degree).
+func (b *Bit) K() int { return b.k }
+
+// Poly returns the characteristic polynomial.
+func (b *Bit) Poly() gf2.Poly { return b.poly }
+
+// State returns the current state (low k bits).
+func (b *Bit) State() uint64 { return b.state }
+
+// Seed sets the state to seed masked to k bits.
+func (b *Bit) Seed(seed uint64) { b.state = seed & b.mask }
+
+// Step advances one clock and returns the output bit (the bit shifted
+// out of stage 0).
+func (b *Bit) Step() uint64 {
+	out := b.state & 1
+	switch b.form {
+	case Fibonacci:
+		fb := parity64(b.state & b.taps)
+		b.state = b.state>>1 | fb<<uint(b.k-1)
+	case Galois:
+		b.state >>= 1
+		if out == 1 {
+			b.state ^= uint64(b.poly) >> 1 // taps of the reciprocal structure
+		}
+	}
+	return out
+}
+
+// Run advances n clocks and returns the final state.
+func (b *Bit) Run(n int) uint64 {
+	for i := 0; i < n; i++ {
+		b.Step()
+	}
+	return b.state
+}
+
+// Output returns the next n output bits as a slice of 0/1 bytes,
+// advancing the register.
+func (b *Bit) Output(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(b.Step())
+	}
+	return out
+}
+
+// Period returns the period of the state cycle containing the current
+// state, by stepping until the state recurs (at most 2^k-1 steps plus
+// one).  The state is restored afterwards.  The zero state has period 1.
+func (b *Bit) Period() uint64 {
+	start := b.state
+	if start == 0 {
+		return 1
+	}
+	var n uint64
+	for {
+		b.Step()
+		n++
+		if b.state == start {
+			return n
+		}
+	}
+}
+
+// MaxPeriod returns 2^k - 1, the period of a maximal-length (primitive
+// polynomial) LFSR of this length.
+func (b *Bit) MaxPeriod() uint64 { return b.mask }
+
+func parity64(v uint64) uint64 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}

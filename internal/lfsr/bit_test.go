@@ -1,0 +1,138 @@
+package lfsr
+
+import (
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+func TestBitFibonacciMaxPeriod(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5, 7, 8} {
+		p := gf2.FirstPrimitive(k)
+		b := MustBit(p, Fibonacci, 1)
+		want := uint64(1)<<uint(k) - 1
+		if got := b.Period(); got != want {
+			t.Errorf("degree %d primitive %v: period %d, want %d", k, p, got, want)
+		}
+		if b.MaxPeriod() != want {
+			t.Errorf("MaxPeriod wrong for k=%d", k)
+		}
+	}
+}
+
+func TestBitGaloisMaxPeriod(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8} {
+		p := gf2.FirstPrimitive(k)
+		b := MustBit(p, Galois, 1)
+		want := uint64(1)<<uint(k) - 1
+		if got := b.Period(); got != want {
+			t.Errorf("Galois degree %d: period %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestBitPeriodMatchesPolynomialOrder(t *testing.T) {
+	// For irreducible non-primitive polynomials the LFSR period equals
+	// the order of x mod p. 0x11B (AES) has order 51.
+	b := MustBit(0x11B, Fibonacci, 1)
+	if got := b.Period(); got != 51 {
+		t.Errorf("period = %d, want 51", got)
+	}
+	if got := gf2.Order(0x11B); got != 51 {
+		t.Errorf("cross-check order = %d", got)
+	}
+}
+
+func TestBitZeroStateFixed(t *testing.T) {
+	for _, form := range []Form{Fibonacci, Galois} {
+		b := MustBit(0x13, form, 0)
+		b.Step()
+		if b.State() != 0 {
+			t.Errorf("%v: zero state not fixed", form)
+		}
+		if b.Period() != 1 {
+			t.Errorf("%v: zero state period != 1", form)
+		}
+	}
+}
+
+func TestBitKnownSequence(t *testing.T) {
+	// x^2+x+1, seed 0b01: recurrence s_{t+2}=s_{t+1}+s_t -> output 1,0,1,1,0,1,...
+	b := MustBit(0x7, Fibonacci, 0b01)
+	out := b.Output(6)
+	want := []byte{1, 0, 1, 1, 0, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("output = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestBitRunAndSeed(t *testing.T) {
+	b := MustBit(0x13, Fibonacci, 0b1011)
+	s0 := b.State()
+	b.Run(15) // full period for primitive degree 4
+	if b.State() != s0 {
+		t.Errorf("state after full period differs: %x vs %x", b.State(), s0)
+	}
+	b.Seed(0xFFFF)
+	if b.State() != 0xF {
+		t.Errorf("Seed not masked to k bits: %x", b.State())
+	}
+	if b.K() != 4 || b.Poly() != 0x13 {
+		t.Errorf("accessors wrong")
+	}
+}
+
+func TestBitFormsSameCycleStructure(t *testing.T) {
+	// Fibonacci and Galois realisations of the same polynomial have the
+	// same cycle-length multiset; for primitive p both are maximal.
+	p := gf2.Poly(0x19)
+	fib := MustBit(p, Fibonacci, 5)
+	gal := MustBit(p, Galois, 5)
+	if fib.Period() != gal.Period() {
+		t.Errorf("form periods differ: %d vs %d", fib.Period(), gal.Period())
+	}
+}
+
+func TestNewBitErrors(t *testing.T) {
+	if _, err := NewBit(0, Fibonacci, 1); err == nil {
+		t.Error("zero polynomial accepted")
+	}
+	if _, err := NewBit(1, Fibonacci, 1); err == nil {
+		t.Error("constant polynomial accepted")
+	}
+	if _, err := NewBit(0x6, Fibonacci, 1); err == nil {
+		t.Error("polynomial with zero constant term accepted (singular)")
+	}
+	if _, err := NewBit(0x13, Form(9), 1); err == nil {
+		t.Error("bad form accepted")
+	}
+}
+
+func TestMustBitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBit did not panic on bad input")
+		}
+	}()
+	MustBit(0, Fibonacci, 1)
+}
+
+func TestFormString(t *testing.T) {
+	if Fibonacci.String() != "Fibonacci" || Galois.String() != "Galois" {
+		t.Error("Form.String wrong")
+	}
+	if Form(9).String() == "" {
+		t.Error("unknown form should still format")
+	}
+}
+
+func TestParity64(t *testing.T) {
+	cases := map[uint64]uint64{0: 0, 1: 1, 3: 0, 7: 1, 0xFF: 0, 1 << 63: 1, ^uint64(0): 0}
+	for v, want := range cases {
+		if got := parity64(v); got != want {
+			t.Errorf("parity64(%#x) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package march
+
+// Canonical March algorithms, as catalogued by van de Goor (the
+// paper's reference [1]).  Complexities are in operations per cell.
+
+// MATS is the 4n Modified Algorithmic Test Sequence:
+// {c(w0); c(r0,w1); c(r1)}.  Detects SAF only.
+func MATS() Test {
+	return Test{Name: "MATS", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Any, []Op{R(0), W(1)}},
+		{Any, []Op{R(1)}},
+	}}
+}
+
+// MATSPlus is the 5n MATS+: {c(w0); ⇑(r0,w1); ⇓(r1,w0)}.  Detects SAF
+// and AF.
+func MATSPlus() Test {
+	return Test{Name: "MATS+", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1)}},
+		{Down, []Op{R(1), W(0)}},
+	}}
+}
+
+// MATSPlusPlus is the 6n MATS++: {c(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}.
+// Detects SAF, AF and TF.
+func MATSPlusPlus() Test {
+	return Test{Name: "MATS++", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1)}},
+		{Down, []Op{R(1), W(0), R(0)}},
+	}}
+}
+
+// MarchX is the 6n March X: {c(w0); ⇑(r0,w1); ⇓(r1,w0); c(r0)}.
+// Detects SAF, AF, TF and CFin.
+func MarchX() Test {
+	return Test{Name: "March X", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1)}},
+		{Down, []Op{R(1), W(0)}},
+		{Any, []Op{R(0)}},
+	}}
+}
+
+// MarchY is the 8n March Y: {c(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); c(r0)}.
+// Adds linked-TF coverage over March X.
+func MarchY() Test {
+	return Test{Name: "March Y", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1), R(1)}},
+		{Down, []Op{R(1), W(0), R(0)}},
+		{Any, []Op{R(0)}},
+	}}
+}
+
+// MarchCMinus is the 10n March C-:
+// {c(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}.
+// Detects SAF, AF, TF, CFin, CFid, CFst — the workhorse of production
+// memory test.
+func MarchCMinus() Test {
+	return Test{Name: "March C-", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1)}},
+		{Up, []Op{R(1), W(0)}},
+		{Down, []Op{R(0), W(1)}},
+		{Down, []Op{R(1), W(0)}},
+		{Any, []Op{R(0)}},
+	}}
+}
+
+// MarchA is the 15n March A:
+// {c(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}.
+// The example algorithm quoted (abbreviated) in the paper's §1.
+func MarchA() Test {
+	return Test{Name: "March A", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1), W(0), W(1)}},
+		{Up, []Op{R(1), W(0), W(1)}},
+		{Down, []Op{R(1), W(0), W(1), W(0)}},
+		{Down, []Op{R(0), W(1), W(0)}},
+	}}
+}
+
+// MarchB is the 17n March B:
+// {c(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}.
+func MarchB() Test {
+	return Test{Name: "March B", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1), R(1), W(0), R(0), W(1)}},
+		{Up, []Op{R(1), W(0), W(1)}},
+		{Down, []Op{R(1), W(0), W(1), W(0)}},
+		{Down, []Op{R(0), W(1), W(0)}},
+	}}
+}
+
+// MarchU is the 13n March U:
+// {c(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0)}.
+func MarchU() Test {
+	return Test{Name: "March U", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1), R(1), W(0)}},
+		{Up, []Op{R(0), W(1)}},
+		{Down, []Op{R(1), W(0), R(0), W(1)}},
+		{Down, []Op{R(1), W(0)}},
+	}}
+}
+
+// MarchLR is the 14n March LR (without BDS):
+// {c(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); c(r0)}.
+func MarchLR() Test {
+	return Test{Name: "March LR", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Down, []Op{R(0), W(1)}},
+		{Up, []Op{R(1), W(0), R(0), W(1)}},
+		{Up, []Op{R(1), W(0)}},
+		{Up, []Op{R(0), W(1), R(1), W(0)}},
+		{Any, []Op{R(0)}},
+	}}
+}
+
+// MarchSS is the 22n March SS (Hamdioui et al.), targeting the full
+// simple static fault space including read-destructive faults:
+// {c(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0);
+//
+//	⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); c(r0)}.
+func MarchSS() Test {
+	return Test{Name: "March SS", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), R(0), W(0), R(0), W(1)}},
+		{Up, []Op{R(1), R(1), W(1), R(1), W(0)}},
+		{Down, []Op{R(0), R(0), W(0), R(0), W(1)}},
+		{Down, []Op{R(1), R(1), W(1), R(1), W(0)}},
+		{Any, []Op{R(0)}},
+	}}
+}
+
+// MarchLA is the 22n March LA (van de Goor/Al-Ars), targeting linked
+// faults:
+// {c(w0); ⇑(r0,w1,w0,w1,r1); ⇑(r1,w0,w1,w0,r0);
+//
+//	⇓(r0,w1,w0,w1,r1); ⇓(r1,w0,w1,w0,r0); ⇓(r0)}.
+func MarchLA() Test {
+	return Test{Name: "March LA", Elems: []Element{
+		{Any, []Op{W(0)}},
+		{Up, []Op{R(0), W(1), W(0), W(1), R(1)}},
+		{Up, []Op{R(1), W(0), W(1), W(0), R(0)}},
+		{Down, []Op{R(0), W(1), W(0), W(1), R(1)}},
+		{Down, []Op{R(1), W(0), W(1), W(0), R(0)}},
+		{Down, []Op{R(0)}},
+	}}
+}
+
+// Library returns the full algorithm catalogue in increasing
+// complexity order.
+func Library() []Test {
+	return []Test{
+		MATS(), MATSPlus(), MATSPlusPlus(),
+		MarchX(), MarchY(), MarchCMinus(),
+		MarchU(), MarchLR(), MarchA(), MarchB(),
+		MarchSS(), MarchLA(),
+	}
+}
+
+// ByName returns the library algorithm with the given name, or false.
+func ByName(name string) (Test, bool) {
+	for _, t := range Library() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Test{}, false
+}

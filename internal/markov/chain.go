@@ -1,0 +1,237 @@
+// Package markov implements the absorbing Markov-chain analysis the
+// paper's §3 appeals to ("Applying Markov chain analysis it was shown
+// that π-test iteration has a high resolution for most memory
+// faults"), plus the generic small-matrix machinery it needs.
+//
+// The model: a fault starts dormant; each π-iteration excites it with
+// some probability (determined by the test data background); once
+// excited, the resulting error walks the linear automaton to the final
+// state and is caught by the signature comparison unless it aliases —
+// for a k-stage automaton over GF(2^m) a random nonzero error state
+// aliases with probability 2^-(m·k) per iteration.  Detection and
+// permanent escape are the absorbing states.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chain is a finite Markov chain with named states and row-stochastic
+// transition matrix P (P[i][j] = probability i -> j).
+type Chain struct {
+	States []string
+	P      [][]float64
+}
+
+// NewChain validates and returns a chain.
+func NewChain(states []string, p [][]float64) (*Chain, error) {
+	n := len(states)
+	if n == 0 || len(p) != n {
+		return nil, fmt.Errorf("markov: need %d transition rows, have %d", n, len(p))
+	}
+	for i, row := range p {
+		if len(row) != n {
+			return nil, fmt.Errorf("markov: row %d has %d entries", i, len(row))
+		}
+		sum := 0.0
+		for _, v := range row {
+			if v < -1e-12 || v > 1+1e-12 {
+				return nil, fmt.Errorf("markov: probability %g out of range in row %d", v, i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("markov: row %d sums to %g", i, sum)
+		}
+	}
+	return &Chain{States: states, P: p}, nil
+}
+
+// MustChain is NewChain but panics on error.
+func MustChain(states []string, p [][]float64) *Chain {
+	c, err := NewChain(states, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Index returns the index of the named state, or -1.
+func (c *Chain) Index(name string) int {
+	for i, s := range c.States {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsAbsorbing reports whether state i is absorbing (P[i][i] = 1).
+func (c *Chain) IsAbsorbing(i int) bool {
+	return math.Abs(c.P[i][i]-1) < 1e-12
+}
+
+// Step advances a distribution one transition: d' = d·P.
+func (c *Chain) Step(d []float64) []float64 {
+	n := len(c.States)
+	out := make([]float64, n)
+	for i, di := range d {
+		if di == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			out[j] += di * c.P[i][j]
+		}
+	}
+	return out
+}
+
+// Distribution returns the state distribution after t steps starting
+// from the given initial distribution.
+func (c *Chain) Distribution(init []float64, t int) []float64 {
+	d := append([]float64(nil), init...)
+	for s := 0; s < t; s++ {
+		d = c.Step(d)
+	}
+	return d
+}
+
+// PointMass returns the distribution concentrated on state i.
+func (c *Chain) PointMass(i int) []float64 {
+	d := make([]float64, len(c.States))
+	d[i] = 1
+	return d
+}
+
+// AbsorptionProbabilities returns, for each transient state i and each
+// absorbing state a, the probability of eventually being absorbed in a
+// when starting from i: B = N·R with N = (I-Q)^-1 the fundamental
+// matrix.  The result maps transientIndex -> absorbingIndex ->
+// probability (indices into States).
+func (c *Chain) AbsorptionProbabilities() (map[int]map[int]float64, error) {
+	var transient, absorbing []int
+	for i := range c.States {
+		if c.IsAbsorbing(i) {
+			absorbing = append(absorbing, i)
+		} else {
+			transient = append(transient, i)
+		}
+	}
+	if len(absorbing) == 0 {
+		return nil, fmt.Errorf("markov: chain has no absorbing states")
+	}
+	tn := len(transient)
+	// Build I-Q over the transient states.
+	iq := make([][]float64, tn)
+	for a, i := range transient {
+		iq[a] = make([]float64, tn)
+		for b, j := range transient {
+			v := -c.P[i][j]
+			if a == b {
+				v += 1
+			}
+			iq[a][b] = v
+		}
+	}
+	ninv, err := invert(iq)
+	if err != nil {
+		return nil, fmt.Errorf("markov: fundamental matrix: %w", err)
+	}
+	out := make(map[int]map[int]float64, tn)
+	for a, i := range transient {
+		out[i] = make(map[int]float64, len(absorbing))
+		for _, abs := range absorbing {
+			// B[a][abs] = Σ_b N[a][b] * R[b][abs]
+			sum := 0.0
+			for b, j := range transient {
+				sum += ninv[a][b] * c.P[j][abs]
+			}
+			out[i][abs] = sum
+		}
+	}
+	return out, nil
+}
+
+// ExpectedStepsToAbsorption returns, for each transient state, the
+// expected number of steps before absorption (t = N·1).
+func (c *Chain) ExpectedStepsToAbsorption() (map[int]float64, error) {
+	var transient []int
+	for i := range c.States {
+		if !c.IsAbsorbing(i) {
+			transient = append(transient, i)
+		}
+	}
+	tn := len(transient)
+	if tn == 0 {
+		return map[int]float64{}, nil
+	}
+	iq := make([][]float64, tn)
+	for a, i := range transient {
+		iq[a] = make([]float64, tn)
+		for b, j := range transient {
+			v := -c.P[i][j]
+			if a == b {
+				v += 1
+			}
+			iq[a][b] = v
+		}
+	}
+	ninv, err := invert(iq)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, tn)
+	for a, i := range transient {
+		sum := 0.0
+		for b := 0; b < tn; b++ {
+			sum += ninv[a][b]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// invert returns the inverse of a small dense matrix via Gauss-Jordan
+// elimination with partial pivoting.
+func invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	// Augmented [A | I].
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-14 {
+			return nil, fmt.Errorf("singular matrix")
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := 1 / aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = append([]float64(nil), aug[i][n:]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(nil, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewChain([]string{"a"}, [][]float64{{0.5}}); err == nil {
+		t.Error("non-stochastic row accepted")
+	}
+	if _, err := NewChain([]string{"a", "b"}, [][]float64{{1, 0}}); err == nil {
+		t.Error("missing row accepted")
+	}
+	if _, err := NewChain([]string{"a"}, [][]float64{{1, 0}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := NewChain([]string{"a", "b"}, [][]float64{{1.5, -0.5}, {0, 1}}); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestStepAndDistribution(t *testing.T) {
+	// Two-state chain: a->b with prob 1, b absorbing.
+	c := MustChain([]string{"a", "b"}, [][]float64{{0, 1}, {0, 1}})
+	d := c.Distribution(c.PointMass(0), 1)
+	if !almost(d[1], 1) {
+		t.Errorf("distribution after 1 step: %v", d)
+	}
+	if c.Index("b") != 1 || c.Index("zz") != -1 {
+		t.Error("Index wrong")
+	}
+	if !c.IsAbsorbing(1) || c.IsAbsorbing(0) {
+		t.Error("absorbing detection wrong")
+	}
+}
+
+func TestGamblersRuinAbsorption(t *testing.T) {
+	// Fair gambler's ruin on {0,1,2,3} with absorbing 0 and 3:
+	// from state 1, P(absorb at 3) = 1/3; from 2, 2/3.
+	c := MustChain(
+		[]string{"0", "1", "2", "3"},
+		[][]float64{
+			{1, 0, 0, 0},
+			{0.5, 0, 0.5, 0},
+			{0, 0.5, 0, 0.5},
+			{0, 0, 0, 1},
+		})
+	abs, err := c.AbsorptionProbabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(abs[1][3], 1.0/3) || !almost(abs[1][0], 2.0/3) {
+		t.Errorf("from 1: %v", abs[1])
+	}
+	if !almost(abs[2][3], 2.0/3) {
+		t.Errorf("from 2: %v", abs[2])
+	}
+	// Expected steps: from 1 -> 2 steps, from 2 -> 2 steps.
+	steps, err := c.ExpectedStepsToAbsorption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(steps[1], 2) || !almost(steps[2], 2) {
+		t.Errorf("expected steps: %v", steps)
+	}
+}
+
+func TestAbsorptionNoAbsorbingStates(t *testing.T) {
+	c := MustChain([]string{"a", "b"}, [][]float64{{0, 1}, {1, 0}})
+	if _, err := c.AbsorptionProbabilities(); err == nil {
+		t.Error("chain without absorbing states accepted")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	a := [][]float64{{2, 0}, {0, 4}}
+	inv, err := invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(inv[0][0], 0.5) || !almost(inv[1][1], 0.25) {
+		t.Errorf("inverse wrong: %v", inv)
+	}
+	if _, err := invert([][]float64{{1, 1}, {1, 1}}); err == nil {
+		t.Error("singular matrix inverted")
+	}
+	// Requires pivoting.
+	b := [][]float64{{0, 1}, {1, 0}}
+	binv, err := invert(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(binv[0][1], 1) || !almost(binv[1][0], 1) {
+		t.Errorf("pivot inverse wrong: %v", binv)
+	}
+}
+
+// --- PRT model ---
+
+func TestAliasProbability(t *testing.T) {
+	if !almost((PRTModel{M: 4, K: 2}).AliasProbability(), 1.0/256) {
+		t.Error("alias probability wrong for m=4,k=2")
+	}
+	if !almost((PRTModel{M: 1, K: 2}).AliasProbability(), 0.25) {
+		t.Error("alias probability wrong for m=1,k=2")
+	}
+}
+
+func TestDetectionProbabilityMonotone(t *testing.T) {
+	p := PRTModel{M: 4, K: 2, PExcite: 0.5}
+	prev := 0.0
+	for it := 1; it <= 10; it++ {
+		d, err := p.DetectionProbability(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= prev {
+			t.Errorf("detection not increasing at it=%d: %g <= %g", it, d, prev)
+		}
+		prev = d
+	}
+	if prev < 0.99 {
+		t.Errorf("10 iterations reach only %g", prev)
+	}
+}
+
+func TestDetectionProbabilityDeterministicExcitation(t *testing.T) {
+	// PExcite=1: after one iteration the fault is detected unless it
+	// aliased: P = (1 - 2^-(mk)).
+	p := PRTModel{M: 4, K: 2, PExcite: 1}
+	d, err := p.DetectionProbability(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d, 1-1.0/256) {
+		t.Errorf("one-iteration detection = %g, want %g", d, 1-1.0/256)
+	}
+}
+
+// TestPaperThreeIterationResolution quantifies the §3 statement: with
+// the specific TDB (PExcite=1) the word-oriented automaton reaches
+// 0.999999+ detection within 3 iterations.
+func TestPaperThreeIterationResolution(t *testing.T) {
+	p := PRTModel{M: 4, K: 2, PExcite: 1}
+	d, err := p.DetectionProbability(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.99999 {
+		t.Errorf("3-iteration detection = %g", d)
+	}
+	it, err := p.IterationsFor(0.999)
+	if err != nil || it > 2 {
+		t.Errorf("iterations for 0.999 = %d (err %v)", it, err)
+	}
+	// The bit-oriented automaton (m=1) needs more iterations: its alias
+	// probability is 1/4.
+	pb := PRTModel{M: 1, K: 2, PExcite: 1}
+	itb, err := pb.IterationsFor(0.999)
+	if err != nil || itb <= it {
+		t.Errorf("BOM iterations = %d should exceed WOM %d", itb, it)
+	}
+}
+
+func TestEventualDetectionIsOne(t *testing.T) {
+	for _, p := range []PRTModel{
+		{M: 1, K: 2, PExcite: 0.1},
+		{M: 4, K: 2, PExcite: 0.9},
+		{M: 8, K: 3, PExcite: 0.5},
+	} {
+		d, err := p.EventualDetection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(d, 1) {
+			t.Errorf("%+v: eventual detection %g != 1", p, d)
+		}
+	}
+}
+
+func TestPRTModelValidation(t *testing.T) {
+	if _, err := (PRTModel{M: 0, K: 2, PExcite: 1}).Chain(); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := (PRTModel{M: 4, K: 2, PExcite: 2}).Chain(); err == nil {
+		t.Error("bad probability accepted")
+	}
+	if _, err := (PRTModel{M: 4, K: 2, PExcite: 0}).IterationsFor(0.9); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}

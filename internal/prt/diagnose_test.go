@@ -1,0 +1,122 @@
+package prt
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ram"
+)
+
+func TestDiagnoseCleanMemory(t *testing.T) {
+	d, err := DiagnoseCells(PaperWOMScheme3(), ram.NewWOM(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Detected() || len(d.Suspects) != 0 || len(d.FirstMismatch) != 0 {
+		t.Errorf("clean memory produced suspects: %+v", d)
+	}
+	// The fault-free TDB has linear complexity exactly k=2.
+	if d.Complexity != 2 {
+		t.Errorf("clean TDB complexity = %d, want 2", d.Complexity)
+	}
+	if d.PrimarySuspect() != nil {
+		t.Error("clean diagnosis has a primary suspect")
+	}
+}
+
+func TestDiagnoseLocatesSAF(t *testing.T) {
+	for _, cell := range []int{0, 1, 17, 40, 62, 63} {
+		f := fault.SAF{Cell: cell, Bit: 2, Value: 1}
+		mem := f.Inject(ram.NewWOM(64, 4))
+		d, err := DiagnoseCells(PaperWOMScheme3(), mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Detected() {
+			t.Fatalf("SAF at %d not detected", cell)
+		}
+		p := d.PrimarySuspect()
+		if p == nil || p.Addr != cell {
+			t.Errorf("SAF at %d: primary suspect %v", cell, p)
+			continue
+		}
+		if p.BadBits&(1<<2) == 0 {
+			t.Errorf("SAF at %d: bit 2 not in bad mask %#x", cell, uint32(p.BadBits))
+		}
+		if p.StuckAt != 1 {
+			t.Errorf("SAF at %d: stuck-at hypothesis %d, want 1", cell, p.StuckAt)
+		}
+	}
+}
+
+func TestDiagnoseLocatesTF(t *testing.T) {
+	f := fault.TF{Cell: 25, Bit: 0, Up: true}
+	mem := f.Inject(ram.NewWOM(64, 4))
+	d, err := DiagnoseCells(PaperWOMScheme3(), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.PrimarySuspect()
+	if p == nil || p.Addr != 25 {
+		t.Errorf("TF at 25: primary suspect %v", p)
+	}
+}
+
+func TestDiagnoseComplexityRises(t *testing.T) {
+	f := fault.SAF{Cell: 10, Bit: 0, Value: 0}
+	mem := f.Inject(ram.NewWOM(64, 4))
+	d, err := DiagnoseCells(PaperWOMScheme3(), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrupted first-iteration TDB is no longer an order-2
+	// recurrence... unless the fault was unexcited in iteration 1, in
+	// which case the suspects still pinpoint it.
+	if d.Complexity == 2 && !d.Detected() {
+		t.Errorf("neither complexity nor suspects flagged the fault")
+	}
+}
+
+func TestDiagnoseBOM(t *testing.T) {
+	f := fault.SAF{Cell: 30, Bit: 0, Value: 1}
+	mem := f.Inject(ram.NewBOM(96))
+	d, err := DiagnoseCells(PaperBOMScheme3(), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.PrimarySuspect()
+	if p == nil || p.Addr != 30 {
+		t.Errorf("BOM SAF at 30: primary suspect %v", p)
+	}
+}
+
+func TestDiagnoseCouplingPointsNearPair(t *testing.T) {
+	// Coupling victims that sit after their aggressor in ascending
+	// order are only visible to the post-iteration read-back in a
+	// descending iteration whose TDB makes the aggressor transition;
+	// the 4-iteration scheme provides both descending polarities.
+	f := fault.CFin{AggCell: 20, VicCell: 21, Up: true}
+	mem := f.Inject(ram.NewWOM(64, 4))
+	d, err := DiagnoseCells(StandardScheme4(PaperWOMConfig().Gen), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Detected() {
+		t.Fatal("coupling fault not detected by diagnosis")
+	}
+	p := d.PrimarySuspect()
+	if p == nil || p.Addr < 19 || p.Addr > 22 {
+		t.Errorf("coupling (20->21): primary suspect %v not near the pair", p)
+	}
+}
+
+func TestCellReportString(t *testing.T) {
+	r := CellReport{Addr: 5, BadBits: 0x4, Mismatches: 2, StuckAt: 1}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+	r2 := CellReport{Addr: 5, StuckAt: -1}
+	if r2.String() == "" {
+		t.Error("empty report string for unknown stuck-at")
+	}
+}

@@ -1,0 +1,176 @@
+package prt
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/lfsr"
+	"repro/internal/ram"
+)
+
+// Multi-LFSR PRT for the "QuadPort DSE family" (§4 of the paper): with
+// four independent ports, two virtual automatons sweep the two halves
+// of the array concurrently — each half runs the Fig. 2 two-cycle
+// pipeline on its own port pair, halving the iteration again to ≈n
+// cycles (vs 2n dual-port, 3n single-port).
+
+// MultiLFSRResult reports a quad-port double-automaton iteration.
+type MultiLFSRResult struct {
+	// FinLow/FinHigh are the observed final windows of the two halves.
+	FinLow, FinHigh []gf.Elem
+	// StarLow/StarHigh are the predictions.
+	StarLow, StarHigh []gf.Elem
+	// Detected is true when either signature fails.
+	Detected bool
+	// Cycles is the number of memory cycles consumed (≈ n).
+	Cycles uint64
+}
+
+// RunQuadPort executes one π-test iteration with two automatons on a
+// memory with at least four ports.  Both automatons use cfg's
+// generator; the low half keeps cfg's seed, the high half uses the
+// complement-rotated seed so the two halves carry distinct TDBs.
+// cfg's trajectory is applied per half (ascending/descending within
+// the half).
+func RunQuadPort(cfg Config, mp *ram.MultiPort) (MultiLFSRResult, error) {
+	var res MultiLFSRResult
+	if mp.Ports() < 4 {
+		return res, fmt.Errorf("prt: quad-port scheme needs >= 4 ports, have %d", mp.Ports())
+	}
+	if cfg.Gen.K() != 2 {
+		return res, fmt.Errorf("prt: quad-port scheme requires k=2, got %d", cfg.Gen.K())
+	}
+	if err := cfg.Validate(mp.Size(), mp.Width()); err != nil {
+		return res, err
+	}
+	n := mp.Size()
+	half := n / 2
+	if half < 3 {
+		return res, fmt.Errorf("prt: memory too small to split (%d cells)", n)
+	}
+	f := cfg.Gen.Field
+	taps := cfg.Gen.Taps()
+
+	// Address plans for the two halves.
+	lowCfg := cfg
+	highCfg := cfg
+	highSeed := make([]gf.Elem, len(cfg.Seed))
+	for i, v := range cfg.Seed {
+		highSeed[len(highSeed)-1-i] = v ^ f.Mask()
+	}
+	highCfg.Seed = highSeed
+	lowAddr := lowCfg.Addresses(half)
+	highAddr := make([]int, n-half)
+	for i := range highAddr {
+		highAddr[i] = half + i
+	}
+	if cfg.Trajectory == Descending {
+		for i, j := 0, len(highAddr)-1; i < j; i, j = i+1, j-1 {
+			highAddr[i], highAddr[j] = highAddr[j], highAddr[i]
+		}
+	}
+
+	start := mp.Cycles
+	idle := func() []ram.PortOp {
+		ops := make([]ram.PortOp, mp.Ports())
+		for i := range ops {
+			ops[i] = ram.Idle()
+		}
+		return ops
+	}
+
+	// Seed both halves in one cycle (4 writes on 4 ports).
+	ops := idle()
+	ops[0] = ram.WriteOp(lowAddr[0], ram.Word(lowCfg.Seed[0]))
+	ops[1] = ram.WriteOp(lowAddr[1], ram.Word(lowCfg.Seed[1]))
+	ops[2] = ram.WriteOp(highAddr[0], ram.Word(highCfg.Seed[0]))
+	ops[3] = ram.WriteOp(highAddr[1], ram.Word(highCfg.Seed[1]))
+	mp.Cycle(ops)
+
+	// Pipelined walk: each 2-cycle step advances BOTH automatons.
+	stepsLow := len(lowAddr)
+	stepsHigh := len(highAddr)
+	maxSteps := stepsLow
+	if stepsHigh > maxSteps {
+		maxSteps = stepsHigh
+	}
+	nextVal := func(vals []ram.Word, off gf.Elem) gf.Elem {
+		v := off
+		v = f.Add(v, f.Mul(taps[0], gf.Elem(vals[1])))
+		v = f.Add(v, f.Mul(taps[1], gf.Elem(vals[0])))
+		return v
+	}
+	for i := 2; i < maxSteps; i++ {
+		// Cycle 1: simultaneous operand reads for both halves.
+		ops = idle()
+		if i < stepsLow {
+			ops[0] = ram.ReadOp(lowAddr[i-2])
+			ops[1] = ram.ReadOp(lowAddr[i-1])
+		}
+		if i < stepsHigh {
+			ops[2] = ram.ReadOp(highAddr[i-2])
+			ops[3] = ram.ReadOp(highAddr[i-1])
+		}
+		vals := mp.Cycle(ops)
+		// Cycle 2: both writes.
+		ops = idle()
+		if i < stepsLow {
+			ops[0] = ram.WriteOp(lowAddr[i], ram.Word(nextVal(vals[0:2], cfg.Offset)))
+		}
+		if i < stepsHigh {
+			ops[2] = ram.WriteOp(highAddr[i], ram.Word(nextVal(vals[2:4], cfg.Offset)))
+		}
+		mp.Cycle(ops)
+	}
+
+	// Observe both Fins in one final cycle.
+	ops = idle()
+	ops[0] = ram.ReadOp(lowAddr[stepsLow-2])
+	ops[1] = ram.ReadOp(lowAddr[stepsLow-1])
+	ops[2] = ram.ReadOp(highAddr[stepsHigh-2])
+	ops[3] = ram.ReadOp(highAddr[stepsHigh-1])
+	vals := mp.Cycle(ops)
+	res.FinLow = []gf.Elem{gf.Elem(vals[0]), gf.Elem(vals[1])}
+	res.FinHigh = []gf.Elem{gf.Elem(vals[2]), gf.Elem(vals[3])}
+
+	var err error
+	res.StarLow, err = lfsr.AffineJumpAhead(cfg.Gen, cfg.Offset, lowCfg.Seed, uint64(stepsLow-2))
+	if err != nil {
+		return res, err
+	}
+	res.StarHigh, err = lfsr.AffineJumpAhead(cfg.Gen, cfg.Offset, highCfg.Seed, uint64(stepsHigh-2))
+	if err != nil {
+		return res, err
+	}
+	res.Detected = !elemsEqual(res.FinLow, res.StarLow) || !elemsEqual(res.FinHigh, res.StarHigh)
+	res.Cycles = mp.Cycles - start
+	return res, nil
+}
+
+// QuadPortScheme3 runs the 3-iteration standard scheme through the
+// quad-port double-automaton executor.
+func QuadPortScheme3(g lfsr.GenPoly, mp *ram.MultiPort) (detected bool, cycles uint64, err error) {
+	s := StandardScheme3(g)
+	resolved := make([]Config, len(s.Iters))
+	for i, cfg := range s.Iters {
+		if t := cfg.mirrorTarget(); t >= 0 {
+			m, err := MirrorConfig(resolved[t], mp.Size()/2)
+			if err != nil {
+				return detected, cycles, err
+			}
+			cfg = m
+		}
+		cfg.Verify = false
+		cfg.CaptureStale = false
+		resolved[i] = cfg
+		r, err := RunQuadPort(cfg, mp)
+		if err != nil {
+			return detected, cycles, fmt.Errorf("prt: quad-port iteration %d: %w", i+1, err)
+		}
+		cycles += r.Cycles
+		if r.Detected {
+			detected = true
+		}
+	}
+	return detected, cycles, nil
+}

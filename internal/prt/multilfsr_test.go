@@ -1,0 +1,125 @@
+package prt
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ram"
+)
+
+func TestQuadPortCleanAndCycles(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		qp := ram.NewQuadPort(n, 4)
+		res, err := RunQuadPort(PaperWOMConfig(), qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected {
+			t.Errorf("n=%d: fault-free detection (FinLow=%v StarLow=%v FinHigh=%v StarHigh=%v)",
+				n, res.FinLow, res.StarLow, res.FinHigh, res.StarHigh)
+		}
+		// 1 seed cycle + 2(n/2 - 2) walk cycles + 1 fin cycle ≈ n.
+		want := uint64(1 + 2*(n/2-2) + 1)
+		if res.Cycles != want {
+			t.Errorf("n=%d: cycles = %d, want %d (≈n)", n, res.Cycles, want)
+		}
+	}
+}
+
+// TestQuadPortHalvesDualPort pins the §4 progression: the multi-LFSR
+// quad-port iteration costs ~n cycles, half the dual-port 2n and a
+// third of the single-port 3n.
+func TestQuadPortHalvesDualPort(t *testing.T) {
+	n := 512
+	qp := ram.NewQuadPort(n, 4)
+	qRes, err := RunQuadPort(PaperWOMConfig(), qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := ram.NewDualPort(n, 4)
+	dRes, err := RunDualPort(PaperWOMConfig(), dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dRes.Cycles) / float64(qRes.Cycles)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("dual/quad cycle ratio = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestQuadPortDetectsFaults(t *testing.T) {
+	n := 128
+	g := PaperWOMConfig().Gen
+	for _, f := range []fault.Fault{
+		fault.SAF{Cell: 10, Bit: 1, Value: 1},  // low half
+		fault.SAF{Cell: 100, Bit: 2, Value: 0}, // high half
+		fault.TF{Cell: 70, Bit: 0, Up: true},
+	} {
+		mp := ram.NewMultiPortOn(f.Inject(ram.NewWOM(n, 4)), 4)
+		det, cycles, err := QuadPortScheme3(g, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det {
+			t.Errorf("quad-port scheme missed %v", f)
+		}
+		if cycles == 0 {
+			t.Error("no cycles counted")
+		}
+	}
+	// Clean memory passes.
+	mp := ram.NewQuadPort(n, 4)
+	det, _, err := QuadPortScheme3(g, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("clean quad-port scheme detected")
+	}
+}
+
+func TestQuadPortHalvesCarryDistinctTDB(t *testing.T) {
+	n := 64
+	qp := ram.NewQuadPort(n, 4)
+	if _, err := RunQuadPort(PaperWOMConfig(), qp); err != nil {
+		t.Fatal(err)
+	}
+	// The low and high halves must not hold identical sequences (the
+	// high seed is complement-rotated).
+	same := true
+	for i := 0; i < n/2; i++ {
+		if qp.Backing().Read(i) != qp.Backing().Read(n/2+i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("both halves carry the same TDB")
+	}
+}
+
+func TestQuadPortValidation(t *testing.T) {
+	if _, err := RunQuadPort(PaperWOMConfig(), ram.NewDualPort(64, 4)); err == nil {
+		t.Error("dual-port memory accepted")
+	}
+	if _, err := RunQuadPort(PaperWOMConfig(), ram.NewQuadPort(4, 4)); err == nil {
+		t.Error("tiny memory accepted")
+	}
+	bad := PaperBOMConfig() // width mismatch
+	if _, err := RunQuadPort(bad, ram.NewQuadPort(64, 4)); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestQuadPortDescending(t *testing.T) {
+	cfg := PaperWOMConfig()
+	cfg.Trajectory = Descending
+	qp := ram.NewQuadPort(64, 4)
+	res, err := RunQuadPort(cfg, qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Error("descending quad-port false positive")
+	}
+}

@@ -1,0 +1,229 @@
+// Package repair implements built-in redundancy analysis (BIRA): the
+// consumer of the self-test diagnosis.  A memory array with spare rows
+// and spare columns (on the same row-major grid geometry as the NPSF
+// models) is repaired by remapping every defective cell into a spare;
+// the classical result is that optimal allocation is NP-hard, so the
+// industry-standard "must-repair + greedy most-failures" heuristic is
+// implemented.
+//
+// The repaired memory is again a ram.Memory, so it can be re-verified
+// by running the self-test once more — the flow exercised by the
+// repository's integration tests and the poweron example.
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ram"
+)
+
+// Geometry describes the physical grid of an array: Rows × Cols cells,
+// cell address = row*Cols + col.
+type Geometry struct {
+	Rows, Cols int
+}
+
+// Size returns the cell count.
+func (g Geometry) Size() int { return g.Rows * g.Cols }
+
+// Validate checks the geometry against a memory size.
+func (g Geometry) Validate(n int) error {
+	if g.Rows < 1 || g.Cols < 1 {
+		return fmt.Errorf("repair: bad geometry %dx%d", g.Rows, g.Cols)
+	}
+	if g.Size() != n {
+		return fmt.Errorf("repair: geometry %dx%d does not cover %d cells", g.Rows, g.Cols, n)
+	}
+	return nil
+}
+
+// RC returns the row/column of an address.
+func (g Geometry) RC(addr int) (row, col int) { return addr / g.Cols, addr % g.Cols }
+
+// Addr returns the address of a row/column.
+func (g Geometry) Addr(row, col int) int { return row*g.Cols + col }
+
+// Allocation is the outcome of redundancy analysis.
+type Allocation struct {
+	// RepairRows and RepairCols list the grid rows/columns replaced by
+	// spares.
+	RepairRows []int
+	RepairCols []int
+	// Unrepairable lists defective cells left uncovered (allocation
+	// failed); empty means full repair.
+	Unrepairable []int
+}
+
+// OK reports whether every defect was covered.
+func (a Allocation) OK() bool { return len(a.Unrepairable) == 0 }
+
+// Allocate runs must-repair followed by greedy allocation: defects,
+// given as cell addresses, are covered by at most spareRows row
+// replacements and spareCols column replacements.
+//
+// Must-repair: a row with more defects than the remaining spare
+// columns *must* take a spare row (and symmetrically); the rule is
+// iterated to fixpoint.  Remaining defects are covered greedily by
+// whichever line (row or column) still contains the most defects.
+func Allocate(g Geometry, defects []int, spareRows, spareCols int) Allocation {
+	var alloc Allocation
+	remaining := map[int]bool{}
+	for _, d := range defects {
+		remaining[d] = true
+	}
+	usedRow := map[int]bool{}
+	usedCol := map[int]bool{}
+
+	cover := func() {
+		for d := range remaining {
+			r, c := g.RC(d)
+			if usedRow[r] || usedCol[c] {
+				delete(remaining, d)
+			}
+		}
+	}
+	rowCount := func() map[int]int {
+		m := map[int]int{}
+		for d := range remaining {
+			r, _ := g.RC(d)
+			m[r]++
+		}
+		return m
+	}
+	colCount := func() map[int]int {
+		m := map[int]int{}
+		for d := range remaining {
+			_, c := g.RC(d)
+			m[c]++
+		}
+		return m
+	}
+
+	// Must-repair to fixpoint: one line per round, counts recomputed
+	// after every cover so later decisions see the true residue.
+	// Deterministic: the highest-count qualifying line wins, ties to
+	// the lowest index.
+	for {
+		sparesRowLeft := spareRows - len(alloc.RepairRows)
+		sparesColLeft := spareCols - len(alloc.RepairCols)
+		r, rCnt := maxLine(rowCount())
+		c, cCnt := maxLine(colCount())
+		switch {
+		case sparesRowLeft > 0 && rCnt > sparesColLeft && rCnt >= cCnt:
+			usedRow[r] = true
+			alloc.RepairRows = append(alloc.RepairRows, r)
+		case sparesColLeft > 0 && cCnt > sparesRowLeft:
+			usedCol[c] = true
+			alloc.RepairCols = append(alloc.RepairCols, c)
+		case sparesRowLeft > 0 && rCnt > sparesColLeft:
+			usedRow[r] = true
+			alloc.RepairRows = append(alloc.RepairRows, r)
+		default:
+			goto greedy
+		}
+		cover()
+	}
+greedy:
+
+	// Greedy: repeatedly take the line with the most remaining defects.
+	for len(remaining) > 0 {
+		bestRow, bestRowCnt := maxLine(rowCount())
+		bestCol, bestColCnt := maxLine(colCount())
+		rowsLeft := spareRows - len(alloc.RepairRows)
+		colsLeft := spareCols - len(alloc.RepairCols)
+		switch {
+		case bestRowCnt >= bestColCnt && bestRowCnt > 0 && rowsLeft > 0:
+			usedRow[bestRow] = true
+			alloc.RepairRows = append(alloc.RepairRows, bestRow)
+		case bestColCnt > 0 && colsLeft > 0:
+			usedCol[bestCol] = true
+			alloc.RepairCols = append(alloc.RepairCols, bestCol)
+		case bestRowCnt > 0 && rowsLeft > 0:
+			usedRow[bestRow] = true
+			alloc.RepairRows = append(alloc.RepairRows, bestRow)
+		default:
+			// Out of spares.
+			for d := range remaining {
+				alloc.Unrepairable = append(alloc.Unrepairable, d)
+			}
+			sort.Ints(alloc.Unrepairable)
+			remaining = nil
+		}
+		cover()
+	}
+	sort.Ints(alloc.RepairRows)
+	sort.Ints(alloc.RepairCols)
+	return alloc
+}
+
+// maxLine returns the index with the highest count (ties: lowest
+// index); (-1, 0) when the map is empty.
+func maxLine(counts map[int]int) (idx, cnt int) {
+	idx = -1
+	for i, c := range counts {
+		if c > cnt || (c == cnt && idx >= 0 && i < idx) {
+			idx, cnt = i, c
+		}
+	}
+	return idx, cnt
+}
+
+// Apply wraps mem with the allocation: accesses to repaired rows and
+// columns are redirected into fresh spare storage.  The wrapper keeps
+// mem's geometry.
+func Apply(mem ram.Memory, g Geometry, alloc Allocation) (ram.Memory, error) {
+	if err := g.Validate(mem.Size()); err != nil {
+		return nil, err
+	}
+	r := &repaired{
+		Memory: mem,
+		g:      g,
+		rows:   map[int]*ram.WOM{},
+		cols:   map[int]*ram.WOM{},
+	}
+	for _, row := range alloc.RepairRows {
+		if row < 0 || row >= g.Rows {
+			return nil, fmt.Errorf("repair: row %d out of grid", row)
+		}
+		r.rows[row] = ram.NewWOM(g.Cols, mem.Width())
+	}
+	for _, col := range alloc.RepairCols {
+		if col < 0 || col >= g.Cols {
+			return nil, fmt.Errorf("repair: column %d out of grid", col)
+		}
+		r.cols[col] = ram.NewWOM(g.Rows, mem.Width())
+	}
+	return r, nil
+}
+
+type repaired struct {
+	ram.Memory
+	g    Geometry
+	rows map[int]*ram.WOM
+	cols map[int]*ram.WOM
+}
+
+func (r *repaired) Read(addr int) ram.Word {
+	row, col := r.g.RC(addr)
+	if s, ok := r.rows[row]; ok {
+		return s.Read(col)
+	}
+	if s, ok := r.cols[col]; ok {
+		return s.Read(row)
+	}
+	return r.Memory.Read(addr)
+}
+
+func (r *repaired) Write(addr int, v ram.Word) {
+	row, col := r.g.RC(addr)
+	if s, ok := r.rows[row]; ok {
+		s.Write(col, v)
+		return
+	}
+	if s, ok := r.cols[col]; ok {
+		s.Write(row, v)
+		return
+	}
+	r.Memory.Write(addr, v)
+}

@@ -1,0 +1,190 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/prt"
+	"repro/internal/ram"
+)
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{Rows: 4, Cols: 8}
+	if g.Size() != 32 {
+		t.Fatal("size wrong")
+	}
+	if err := g.Validate(32); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(33); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := (Geometry{Rows: 0, Cols: 8}).Validate(0); err == nil {
+		t.Error("degenerate geometry accepted")
+	}
+	r, c := g.RC(19)
+	if r != 2 || c != 3 {
+		t.Errorf("RC(19) = %d,%d", r, c)
+	}
+	if g.Addr(2, 3) != 19 {
+		t.Error("Addr inverse wrong")
+	}
+}
+
+func TestAllocateSingleDefect(t *testing.T) {
+	g := Geometry{Rows: 8, Cols: 8}
+	a := Allocate(g, []int{19}, 1, 1)
+	if !a.OK() {
+		t.Fatalf("single defect unrepairable: %+v", a)
+	}
+	if len(a.RepairRows)+len(a.RepairCols) != 1 {
+		t.Errorf("single defect should use one spare: %+v", a)
+	}
+}
+
+func TestAllocateMustRepairRow(t *testing.T) {
+	g := Geometry{Rows: 8, Cols: 8}
+	// Four defects on row 2 with only 1 spare column available: the
+	// row MUST take the spare row.
+	defects := []int{g.Addr(2, 1), g.Addr(2, 3), g.Addr(2, 5), g.Addr(2, 7)}
+	a := Allocate(g, defects, 1, 1)
+	if !a.OK() {
+		t.Fatalf("must-repair case failed: %+v", a)
+	}
+	if len(a.RepairRows) != 1 || a.RepairRows[0] != 2 {
+		t.Errorf("row 2 not must-repaired: %+v", a)
+	}
+}
+
+func TestAllocateCross(t *testing.T) {
+	g := Geometry{Rows: 8, Cols: 8}
+	// A row of defects and a column of defects crossing it.
+	var defects []int
+	for c := 0; c < 8; c++ {
+		defects = append(defects, g.Addr(3, c))
+	}
+	for r := 0; r < 8; r++ {
+		defects = append(defects, g.Addr(r, 5))
+	}
+	a := Allocate(g, defects, 1, 1)
+	if !a.OK() {
+		t.Fatalf("cross pattern unrepairable with 1+1 spares: %+v", a)
+	}
+	if len(a.RepairRows) != 1 || len(a.RepairCols) != 1 {
+		t.Errorf("cross should use one of each: %+v", a)
+	}
+}
+
+func TestAllocateExhaustsSpares(t *testing.T) {
+	g := Geometry{Rows: 4, Cols: 4}
+	// A diagonal of 4 defects but only 1 spare row + 1 spare column.
+	defects := []int{g.Addr(0, 0), g.Addr(1, 1), g.Addr(2, 2), g.Addr(3, 3)}
+	a := Allocate(g, defects, 1, 1)
+	if a.OK() {
+		t.Fatal("diagonal of 4 should not be repairable with 1+1")
+	}
+	if len(a.Unrepairable) != 2 {
+		t.Errorf("expected 2 uncovered defects, got %v", a.Unrepairable)
+	}
+}
+
+func TestAllocateNoDefects(t *testing.T) {
+	a := Allocate(Geometry{Rows: 4, Cols: 4}, nil, 1, 1)
+	if !a.OK() || len(a.RepairRows)+len(a.RepairCols) != 0 {
+		t.Errorf("empty defect list should allocate nothing: %+v", a)
+	}
+}
+
+func TestApplyRedirects(t *testing.T) {
+	g := Geometry{Rows: 4, Cols: 8}
+	base := ram.NewWOM(32, 4)
+	rep, err := Apply(base, g, Allocation{RepairRows: []int{1}, RepairCols: []int{6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes into the repaired row land in the spare, not the base.
+	rep.Write(g.Addr(1, 2), 0xA)
+	if base.Read(g.Addr(1, 2)) != 0 {
+		t.Error("write leaked into the defective row")
+	}
+	if rep.Read(g.Addr(1, 2)) != 0xA {
+		t.Error("spare row readback failed")
+	}
+	// Repaired column too.
+	rep.Write(g.Addr(3, 6), 0x5)
+	if rep.Read(g.Addr(3, 6)) != 0x5 || base.Read(g.Addr(3, 6)) != 0 {
+		t.Error("spare column redirect failed")
+	}
+	// Unrepaired cells hit the base.
+	rep.Write(g.Addr(2, 2), 0x7)
+	if base.Read(g.Addr(2, 2)) != 0x7 {
+		t.Error("healthy cell not in base array")
+	}
+	if rep.Size() != 32 || rep.Width() != 4 {
+		t.Error("geometry changed by repair")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	g := Geometry{Rows: 4, Cols: 8}
+	if _, err := Apply(ram.NewWOM(16, 4), g, Allocation{}); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+	if _, err := Apply(ram.NewWOM(32, 4), g, Allocation{RepairRows: []int{9}}); err == nil {
+		t.Error("out-of-grid row accepted")
+	}
+	if _, err := Apply(ram.NewWOM(32, 4), g, Allocation{RepairCols: []int{8}}); err == nil {
+		t.Error("out-of-grid column accepted")
+	}
+}
+
+// TestEndToEndTestDiagnoseRepairRetest is the full production flow on
+// a memory with a defective row: self-test fails, diagnosis feeds the
+// allocator, the repaired array passes.
+func TestEndToEndTestDiagnoseRepairRetest(t *testing.T) {
+	g := Geometry{Rows: 8, Cols: 8}
+	mkBroken := func() ram.Memory {
+		m := ram.Memory(ram.NewWOM(64, 4))
+		// Three stuck cells on row 5.
+		for _, col := range []int{1, 4, 6} {
+			m = fault.SAF{Cell: g.Addr(5, col), Bit: 0, Value: 1}.Inject(m)
+		}
+		return m
+	}
+	scheme := prt.PaperWOMScheme3()
+
+	// 1. Detect with the cheap PRT pass, then localise with the
+	// repair-grade March pass (no error propagation).
+	res0, err := scheme.Run(mkBroken())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res0.Detected {
+		t.Fatal("defective row not detected by PRT")
+	}
+	defects := march.FailingAddresses(march.MarchCMinus(), mkBroken(), march.DataBackgrounds(4))
+	if len(defects) != 3 {
+		t.Fatalf("March localisation found %v, want the 3 stuck cells", defects)
+	}
+
+	// 2. Allocate spares (1 row + 1 column available).
+	alloc := Allocate(g, defects, 1, 1)
+	if !alloc.OK() {
+		t.Fatalf("allocation failed: %+v", alloc)
+	}
+
+	// 3. Apply and retest.
+	repaired, err := Apply(mkBroken(), g, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheme.Run(repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Errorf("repaired memory still fails (repair rows %v cols %v)",
+			alloc.RepairRows, alloc.RepairCols)
+	}
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 22.5)
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "alpha  1") {
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "22.50") {
+		t.Errorf("float not formatted: %q", lines[4])
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	if strings.Contains(tb.String(), "##") {
+		t.Error("unexpected title marker")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRowf("plain", "with,comma")
+	tb.AddRowf("quo\"te", "multi\nline")
+	var b strings.Builder
+	tb.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, "a,b") {
+		t.Error("missing header row")
+	}
+	if !strings.Contains(out, "\"with,comma\"") {
+		t.Error("comma cell not quoted")
+	}
+	if !strings.Contains(out, "\"quo\"\"te\"") {
+		t.Error("quote not escaped")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(1, 2) != "50.0%" {
+		t.Errorf("Percent = %q", Percent(1, 2))
+	}
+	if Percent(3, 0) != "n/a" {
+		t.Errorf("Percent(3,0) = %q", Percent(3, 0))
+	}
+	if Percent(7640, 7640) != "100.0%" {
+		t.Errorf("full percent = %q", Percent(7640, 7640))
+	}
+}
+
+func TestRowsShorterThanHeaders(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	tb.AddRowf("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Error("short row dropped")
+	}
+}

@@ -1,0 +1,92 @@
+// Package repro is a production-quality Go reproduction of
+// "New Schemes for Self-Testing RAM" (Gh. Bodean, D. Bodean,
+// A. Labunetz, DATE 2005): pseudo-ring testing (PRT) of bit- and
+// word-oriented, single- and multi-port RAM by emulating a linear
+// automaton over a Galois field with the memory's own cells.
+//
+// The root package is the downstream-facing facade: it re-exports the
+// user-level types and bundles the experiment harness that regenerates
+// every figure and quantitative claim of the paper (see EXPERIMENTS.md
+// and bench_test.go).  The implementation lives in internal/:
+//
+//	internal/gf2      GF(2) polynomial arithmetic
+//	internal/gf       GF(2^m) field towers
+//	internal/xorsynth XOR-netlist synthesis of constant multipliers
+//	internal/lfsr     bit/word/affine LFSR automaton models
+//	internal/ram      memory models (BOM, WOM, multi-port)
+//	internal/fault    van de Goor fault models and universes
+//	internal/march    March test framework and algorithm library
+//	internal/prt      the π-test engine (the paper's contribution)
+//	internal/bist     BIST hardware budget and controller FSM
+//	internal/markov   Markov-chain detection analysis
+//	internal/coverage fault-injection campaign engine
+//	internal/report   table rendering
+//
+// # Quickstart
+//
+//	mem := repro.NewWOM(1024, 4)              // 1024 cells × 4 bits
+//	pass, err := repro.SelfTest(mem)          // 3-iteration PRT
+//
+// See examples/ for runnable programs.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/prt"
+	"repro/internal/ram"
+)
+
+// Memory is the RAM model under test (see NewBOM/NewWOM/NewDualPort).
+type Memory = ram.Memory
+
+// Word is a memory cell value.
+type Word = ram.Word
+
+// Scheme is a multi-iteration pseudo-ring test.
+type Scheme = prt.Scheme
+
+// Fault is an injectable memory fault.
+type Fault = fault.Fault
+
+// NewBOM returns an n-cell bit-oriented memory.
+func NewBOM(n int) Memory { return ram.NewBOM(n) }
+
+// NewWOM returns an n-cell memory of m-bit words.
+func NewWOM(n, m int) Memory { return ram.NewWOM(n, m) }
+
+// NewDualPort returns a two-port memory of n cells × m bits.
+func NewDualPort(n, m int) *ram.MultiPort { return ram.NewDualPort(n, m) }
+
+// SelfTest runs the default 3-iteration pseudo-ring scheme for the
+// memory's geometry and reports whether it passed.
+func SelfTest(mem Memory) (bool, error) { return core.SelfTest(mem) }
+
+// DefaultScheme returns the production PRT scheme for an m-bit word
+// (m = 1 selects the bit-oriented automaton).
+func DefaultScheme(m int) Scheme {
+	if m == 1 {
+		return core.DefaultBOMScheme()
+	}
+	return core.DefaultWOMScheme(m)
+}
+
+// PaperWOMConfig returns the paper's Fig. 1b configuration
+// (g(x)=1+2x+2x² over GF(2⁴), p(z)=1+z+z⁴, seed (0,1)).
+func PaperWOMConfig() prt.Config { return prt.PaperWOMConfig() }
+
+// PaperBOMConfig returns the Fig. 1a bit-oriented configuration.
+func PaperBOMConfig() prt.Config { return prt.PaperBOMConfig() }
+
+// MarchLibrary returns the classical March algorithm catalogue used as
+// the baseline family.
+func MarchLibrary() []march.Test { return march.Library() }
+
+// StandardFaultUniverse builds the evaluation fault universe for an
+// n×m memory (all single-cell, stuck-open and decoder faults, adjacent
+// coupling pairs plus `samples` random long-distance pairs, and — for
+// m ≥ 2 — all intra-word pairs).
+func StandardFaultUniverse(n, m, samples int, seed int64) fault.Universe {
+	return fault.StandardUniverse(n, m, samples, seed)
+}

@@ -1,0 +1,138 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestSelfTestFacade(t *testing.T) {
+	mem := NewWOM(256, 4)
+	pass, err := SelfTest(mem)
+	if err != nil || !pass {
+		t.Fatalf("clean self-test: pass=%v err=%v", pass, err)
+	}
+	bad := fault.SAF{Cell: 77, Bit: 1, Value: 1}.Inject(NewWOM(256, 4))
+	pass, err = SelfTest(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass {
+		t.Error("faulty memory passed self-test")
+	}
+}
+
+func TestDefaultSchemeWidths(t *testing.T) {
+	for _, m := range []int{1, 4, 8} {
+		s := DefaultScheme(m)
+		if len(s.Iters) == 0 {
+			t.Errorf("m=%d: empty scheme", m)
+		}
+	}
+}
+
+func TestMarchLibraryExposed(t *testing.T) {
+	lib := MarchLibrary()
+	if len(lib) < 8 {
+		t.Errorf("library has %d algorithms", len(lib))
+	}
+}
+
+func TestStandardFaultUniverseFacade(t *testing.T) {
+	u := StandardFaultUniverse(16, 4, 5, 1)
+	if u.Len() == 0 {
+		t.Error("empty universe")
+	}
+}
+
+func TestPaperConfigsExposed(t *testing.T) {
+	if PaperWOMConfig().Gen.Field.M() != 4 {
+		t.Error("paper WOM config wrong field")
+	}
+	if PaperBOMConfig().Gen.Field.M() != 1 {
+		t.Error("paper BOM config wrong field")
+	}
+}
+
+// --- experiment harness smoke tests: every table must build and carry
+// the expected headline values ---
+
+func TestExperimentFig1a(t *testing.T) {
+	out := ExperimentFig1a(16).String()
+	for _, want := range []string{"Fig.1a", "Init", "Fin*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1a table missing %q", want)
+		}
+	}
+}
+
+func TestExperimentFig1b(t *testing.T) {
+	out := ExperimentFig1b(257).String()
+	for _, want := range []string{"period", "255", "true ((n-2) mod 255 = 0)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1b table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentFig2(t *testing.T) {
+	out := ExperimentFig2([]int{64, 256}).String()
+	if !strings.Contains(out, "1.50") && !strings.Contains(out, "1.51") {
+		t.Errorf("Fig2 table missing the 3n/2n ratio:\n%s", out)
+	}
+}
+
+func TestExperimentSingleCellHeadline(t *testing.T) {
+	out := ExperimentSingleCell(24).String()
+	// The 3-iteration rows must be at 100% everywhere.
+	lines := strings.Split(out, "\n")
+	found := 0
+	for _, l := range lines {
+		if strings.Contains(l, "  3  ") || strings.Contains(l, "\t3\t") ||
+			(strings.Contains(l, " 3 ") && strings.Contains(l, "100.0%")) {
+			if strings.Count(l, "100.0%") >= 5 {
+				found++
+			}
+		}
+	}
+	if found < 2 {
+		t.Errorf("expected both geometries at 100%% for 3 iterations:\n%s", out)
+	}
+}
+
+func TestExperimentBISTOverheadHeadline(t *testing.T) {
+	out := ExperimentBISTOverhead().String()
+	if !strings.Contains(out, "true") {
+		t.Errorf("overhead never crossed 2^-20:\n%s", out)
+	}
+}
+
+func TestExperimentMarkovHeadline(t *testing.T) {
+	out := ExperimentMarkov().String()
+	if !strings.Contains(out, "0.996094") {
+		t.Errorf("m=4 one-iteration detection missing:\n%s", out)
+	}
+}
+
+func TestExperimentMultiplierSynthesis(t *testing.T) {
+	out := ExperimentMultiplierSynthesis().String()
+	if !strings.Contains(out, "GF(2^8) total") {
+		t.Errorf("aggregate row missing:\n%s", out)
+	}
+}
+
+func TestAllExperimentsBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow")
+	}
+	tables := AllExperiments()
+	if len(tables) != 15 {
+		t.Fatalf("expected 15 experiment tables, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.String() == "" || len(tb.Rows) == 0 {
+			t.Errorf("empty experiment table %q", tb.Title)
+		}
+	}
+}
