@@ -14,6 +14,8 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/coverage"
+	"repro/internal/fault"
 	"repro/internal/gf"
 	"repro/internal/lfsr"
 	"repro/internal/march"
@@ -268,6 +270,51 @@ func BenchmarkSignatureVsVerify(b *testing.B) {
 			_ = full.MustRun(mem)
 		}
 	})
+}
+
+// BenchmarkCampaign compares the two coverage engines on the
+// acceptance workload: a 1024-cell SAF+CF campaign (every stuck-at and
+// transition fault plus all adjacent-cell coupling faults) under
+// March C-.  The bit-parallel engine packs 64 faulty machines per
+// uint64 word and replays the recorded trace once per batch; the
+// oracle re-runs the full algorithm per fault.  The custom metric is
+// faults simulated per second.
+func BenchmarkCampaign(b *testing.B) {
+	const n = 1024
+	u := fault.Universe{Name: "saf+cf", Faults: append(
+		fault.SingleCellUniverse(n, 1),
+		fault.CouplingUniverse(fault.AdjacentPairs(n))...)}
+	mk := func() ram.Memory { return ram.NewBOM(n) }
+	r := coverage.MarchRunner(march.MarchCMinus(), nil)
+	for _, engine := range []coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel} {
+		b.Run(engine.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := coverage.CampaignEngine(r, u, mk, 0, engine)
+				sink = uint64(res.Detected)
+			}
+			b.ReportMetric(float64(u.Len())*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+		})
+	}
+}
+
+// BenchmarkCampaignPRT measures the same comparison for a pseudo-ring
+// scheme, whose recurrence writes exercise the affine replay path.
+func BenchmarkCampaignPRT(b *testing.B) {
+	const n = 256
+	u := fault.Universe{Name: "saf+cf", Faults: append(
+		fault.SingleCellUniverse(n, 4),
+		fault.CouplingUniverse(fault.AdjacentPairs(n))...)}
+	mk := func() ram.Memory { return ram.NewWOM(n, 4) }
+	r := coverage.PRTRunner(prt.StandardScheme3(prt.PaperWOMConfig().Gen))
+	for _, engine := range []coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel} {
+		b.Run(engine.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := coverage.CampaignEngine(r, u, mk, 0, engine)
+				sink = uint64(res.Detected)
+			}
+			b.ReportMetric(float64(u.Len())*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+		})
+	}
 }
 
 var sink uint64

@@ -4,9 +4,17 @@
 //
 // Usage:
 //
-//	faultcov            # all experiments
-//	faultcov -exp e6    # one experiment (fig1a,fig1b,fig2,e4..e11)
-//	faultcov -csv       # CSV output
+//	faultcov                 # all experiments (bit-parallel engine)
+//	faultcov -exp e6         # one experiment (fig1a,fig1b,fig2,e4..e11)
+//	faultcov -csv            # CSV output
+//	faultcov -engine oracle  # per-fault reference engine
+//
+// The -engine flag selects the campaign execution strategy: "bitpar"
+// (default) replays a recorded test trace over 64-machine batches —
+// the fast path of package sim — while "oracle" re-runs the full
+// algorithm once per injected fault.  Both produce identical tables;
+// the oracle is the reference the bit-parallel engine is
+// property-tested against.
 package main
 
 import (
@@ -16,13 +24,22 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/coverage"
 	"repro/internal/report"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: fig1a, fig1b, fig2, e4…e11 or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	engine := flag.String("engine", "bitpar", "campaign engine: bitpar (trace replay, 64 faults/word) or oracle (one run per fault)")
 	flag.Parse()
+
+	eng, err := coverage.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultcov: %v\n", err)
+		os.Exit(2)
+	}
+	coverage.SetDefaultEngine(eng)
 
 	byID := map[string]func() *report.Table{
 		"fig1a": func() *report.Table { return repro.ExperimentFig1a(16) },

@@ -311,41 +311,51 @@ func ExperimentQualityFactors(n int) *report.Table {
 		res := coverage.Campaign(coverage.PRTRunner(s.SignatureOnly()), u, mk, 0)
 		t.AddRowf(factor, setting, report.Percent(res.Detected, res.Total))
 	}
-	// Factor 1: polynomial structure.
-	gens := map[string]lfsr.GenPoly{
-		"g=1+x+x^2 (period 3)":  lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 1}),
-		"g=1+x+x^3 (period 7)":  lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 0, 1}),
-		"g=1+x+x^4 (period 15)": lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 0, 0, 1}),
+	// Factor 1: polynomial structure.  (Ordered slices, not maps — the
+	// table row order must be deterministic across runs.)
+	gens := []struct {
+		name string
+		g    lfsr.GenPoly
+	}{
+		{"g=1+x+x^2 (period 3)", lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 1})},
+		{"g=1+x+x^3 (period 7)", lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 0, 1})},
+		{"g=1+x+x^4 (period 15)", lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 0, 0, 1})},
 	}
-	for name, g := range gens {
-		run("polynomial", name, prt.StandardScheme3(g))
+	for _, e := range gens {
+		run("polynomial", e.name, prt.StandardScheme3(e.g))
 	}
 	// Factor 2: initial values (seed phases of the same automaton).
 	g := lfsr.MustGenPoly(f1, []gf.Elem{1, 1, 1})
-	seeds := map[string][]gf.Elem{
-		"seed (1,0)": {1, 0},
-		"seed (1,1)": {1, 1},
-		"seed (0,1)": {0, 1},
+	seeds := []struct {
+		name string
+		seed []gf.Elem
+	}{
+		{"seed (1,0)", []gf.Elem{1, 0}},
+		{"seed (1,1)", []gf.Elem{1, 1}},
+		{"seed (0,1)", []gf.Elem{0, 1}},
 	}
-	for name, seed := range seeds {
+	for _, e := range seeds {
 		s := prt.StandardScheme3(g)
 		it0 := s.Iters[0]
-		it0.Seed = seed
+		it0.Seed = e.seed
 		s.Iters[0] = it0
-		run("initial values", name, s)
+		run("initial values", e.name, s)
 	}
 	// Factor 3: trajectory of the first iteration.
-	for name, tr := range map[string]prt.Trajectory{
-		"ascending":  prt.Ascending,
-		"descending": prt.Descending,
-		"random":     prt.Random,
+	for _, e := range []struct {
+		name string
+		tr   prt.Trajectory
+	}{
+		{"ascending", prt.Ascending},
+		{"descending", prt.Descending},
+		{"random", prt.Random},
 	} {
 		s := prt.StandardScheme3(g)
 		it0 := s.Iters[0]
-		it0.Trajectory = tr
+		it0.Trajectory = e.tr
 		it0.PermSeed = 11
 		s.Iters[0] = it0
-		run("trajectory", name, s)
+		run("trajectory", e.name, s)
 	}
 	return t
 }

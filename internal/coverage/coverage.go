@@ -9,11 +9,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/march"
 	"repro/internal/prt"
 	"repro/internal/ram"
+	"repro/internal/sim"
 )
 
 // Runner is a memory test algorithm under evaluation.
@@ -24,6 +26,63 @@ type Runner interface {
 	// detected and how many memory operations were spent.
 	Run(mem ram.Memory) (detected bool, ops uint64)
 }
+
+// ReplaySafe marks runners eligible for the bit-parallel trace-replay
+// engine: the operation schedule is deterministic and independent of
+// read values, every value-dependent write is annotated as an affine
+// function of preceding reads (ram.TraceAnnotator), and detection is
+// exactly "some checked read diverges from its fault-free value".
+// Runners with aliasing comparators (MISR compression of multi-read
+// streams) or un-annotated adaptive stimuli must not implement it —
+// they stay on the per-fault oracle.
+type ReplaySafe interface {
+	Runner
+	// ReplaySafe is a marker method.
+	ReplaySafe()
+}
+
+// Engine selects the campaign execution strategy.
+type Engine int
+
+const (
+	// EngineBitParallel replays a recorded trace over 64-machine
+	// batches (package sim) and falls back to the oracle per-universe
+	// when the runner or a fault cannot take the fast path.
+	EngineBitParallel Engine = iota
+	// EngineOracle re-runs the full algorithm once per injected fault —
+	// the reference semantics every optimisation is measured against.
+	EngineOracle
+)
+
+func (e Engine) String() string {
+	if e == EngineOracle {
+		return "oracle"
+	}
+	return "bitpar"
+}
+
+// ParseEngine converts a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "bitpar", "bit-parallel", "sim":
+		return EngineBitParallel, nil
+	case "oracle", "reference":
+		return EngineOracle, nil
+	}
+	return 0, fmt.Errorf("coverage: unknown engine %q (want oracle or bitpar)", s)
+}
+
+// defaultEngine is the engine Campaign uses; the bit-parallel path is
+// the default fast path and is property-tested to produce results
+// byte-identical to the oracle.
+var defaultEngine atomic.Int32
+
+// SetDefaultEngine switches the engine used by Campaign (and so by
+// every experiment table).
+func SetDefaultEngine(e Engine) { defaultEngine.Store(int32(e)) }
+
+// DefaultEngine returns the engine Campaign currently uses.
+func DefaultEngine() Engine { return Engine(defaultEngine.Load()) }
 
 // MemoryFactory builds a fresh fault-free memory for each trial.
 type MemoryFactory func() ram.Memory
@@ -78,8 +137,14 @@ func (r Result) Classes() []fault.Class {
 // Campaign injects every fault of the universe into a fresh memory and
 // runs the algorithm, fanning trials across workers goroutines
 // (0 = GOMAXPROCS).  Results are deterministic regardless of the
-// worker count.
+// worker count and identical for both engines (the bit-parallel path
+// is property-tested against the oracle).
 func Campaign(r Runner, u fault.Universe, mk MemoryFactory, workers int) Result {
+	return CampaignEngine(r, u, mk, workers, DefaultEngine())
+}
+
+// CampaignEngine is Campaign with an explicit engine choice.
+func CampaignEngine(r Runner, u fault.Universe, mk MemoryFactory, workers int, engine Engine) Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -89,30 +154,37 @@ func Campaign(r Runner, u fault.Universe, mk MemoryFactory, workers int) Result 
 		Total:    len(u.Faults),
 		ByClass:  make(map[fault.Class]ClassStat),
 	}
-	// Clean baseline.
-	cleanDetected, cleanOps := r.Run(mk())
-	res.OpsCleanRun = cleanOps
-	res.FalsePositive = cleanDetected
-
-	detected := make([]bool, len(u.Faults))
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range ch {
-				mem := u.Faults[idx].Inject(mk())
-				d, _ := r.Run(mem)
-				detected[idx] = d
+	// Clean baseline; under the bit-parallel engine this one run also
+	// records the replay trace.
+	var detected []bool
+	_, replaySafe := r.(ReplaySafe)
+	if engine == EngineBitParallel && replaySafe && sim.Batchable(u.Faults) {
+		tr, cleanDetected, cleanOps := sim.Record(mk(), r.Run)
+		res.OpsCleanRun = cleanOps
+		res.FalsePositive = cleanDetected
+		// A false-positive clean run breaks the checked-read criterion
+		// (clean values no longer equal the algorithm's expectations):
+		// keep the oracle semantics instead.
+		if !cleanDetected && tr.Replayable() {
+			d, err := sim.Shards(tr, u.Faults, workers)
+			if err != nil {
+				// Both non-batchable faults and non-replayable traces
+				// were pre-checked, so an error here is a broken
+				// invariant in the engine — failing loudly beats
+				// silently delivering correct-but-slow oracle results
+				// under the bitpar label.
+				panic(fmt.Sprintf("coverage: bit-parallel replay of %s on %s: %v", r.Name(), u.Name, err))
 			}
-		}()
+			detected = d
+		}
+	} else {
+		cleanDetected, cleanOps := r.Run(mk())
+		res.OpsCleanRun = cleanOps
+		res.FalsePositive = cleanDetected
 	}
-	for i := range u.Faults {
-		ch <- i
+	if detected == nil {
+		detected = oracleDetect(r, u, mk, workers)
 	}
-	close(ch)
-	wg.Wait()
 
 	for i, f := range u.Faults {
 		cs := res.ByClass[f.Class()]
@@ -124,6 +196,36 @@ func Campaign(r Runner, u fault.Universe, mk MemoryFactory, workers int) Result 
 		res.ByClass[f.Class()] = cs
 	}
 	return res
+}
+
+// oracleDetect is the reference path: one full algorithm run per
+// injected fault, distributed over workers with an atomic cursor (no
+// producer goroutine or channel hand-off contention on large
+// universes).
+func oracleDetect(r Runner, u fault.Universe, mk MemoryFactory, workers int) []bool {
+	detected := make([]bool, len(u.Faults))
+	if workers > len(u.Faults) {
+		workers = len(u.Faults)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(cursor.Add(1)) - 1
+				if idx >= len(u.Faults) {
+					return
+				}
+				mem := u.Faults[idx].Inject(mk())
+				d, _ := r.Run(mem)
+				detected[idx] = d
+			}
+		}()
+	}
+	wg.Wait()
+	return detected
 }
 
 // Sum aggregates the detected/total counts over several fault classes.
@@ -163,6 +265,10 @@ func MarchRunner(t march.Test, backgrounds []ram.Word) Runner {
 
 func (m marchRunner) Name() string { return m.test.Name }
 
+// ReplaySafe implements ReplaySafe: March stimuli are literal and
+// every read is compared against its expected background value.
+func (marchRunner) ReplaySafe() {}
+
 func (m marchRunner) Run(mem ram.Memory) (bool, uint64) {
 	r := march.RunBackgrounds(m.test, mem, m.backgrounds)
 	return r.Detected, r.Ops
@@ -174,6 +280,12 @@ type prtRunner struct{ scheme prt.Scheme }
 func PRTRunner(s prt.Scheme) Runner { return prtRunner{scheme: s} }
 
 func (p prtRunner) Name() string { return p.scheme.Name }
+
+// ReplaySafe implements ReplaySafe: the π-test's recurrence writes are
+// annotated as affine maps of the preceding reads, and all detection
+// (signature, stale capture, verify) compares reads against fault-free
+// predictions.
+func (prtRunner) ReplaySafe() {}
 
 func (p prtRunner) Run(mem ram.Memory) (bool, uint64) {
 	r, err := p.scheme.Run(mem)
@@ -194,6 +306,11 @@ func BitSlicedRunner(name string, cfgs []prt.BitSlicedConfig) Runner {
 }
 
 func (b bitSlicedRunner) Name() string { return b.name }
+
+// ReplaySafe implements ReplaySafe: the lane recurrences are annotated
+// bit-diagonal linear maps and detection compares Fin and read-back
+// values against per-lane predictions.
+func (bitSlicedRunner) ReplaySafe() {}
 
 func (b bitSlicedRunner) Run(mem ram.Memory) (bool, uint64) {
 	r, err := prt.RunBitSlicedScheme(b.cfgs, mem)

@@ -1,0 +1,129 @@
+package coverage
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/prt"
+	"repro/internal/ram"
+)
+
+// The engine-equivalence property: for every replay-safe runner and
+// every batchable fault universe, the bit-parallel engine must produce
+// a Result byte-identical to the per-fault oracle — same totals, same
+// per-class detected counts, same clean-run metadata.
+
+func assertEngineEquivalence(t *testing.T, r Runner, u fault.Universe, mk MemoryFactory) {
+	t.Helper()
+	oracle := CampaignEngine(r, u, mk, 4, EngineOracle)
+	bitpar := CampaignEngine(r, u, mk, 4, EngineBitParallel)
+	if !reflect.DeepEqual(oracle, bitpar) {
+		t.Errorf("%s on %s: engines disagree\noracle: %+v\nbitpar: %+v",
+			r.Name(), u.Name, oracle, bitpar)
+		for _, c := range oracle.Classes() {
+			if oracle.ByClass[c] != bitpar.ByClass[c] {
+				t.Errorf("  class %s: oracle %+v bitpar %+v", c, oracle.ByClass[c], bitpar.ByClass[c])
+			}
+		}
+		perFaultDiff(t, r, u, mk)
+	}
+}
+
+// perFaultDiff pinpoints individual faults the engines disagree on —
+// diagnostic detail for when the aggregate property fails.
+func perFaultDiff(t *testing.T, r Runner, u fault.Universe, mk MemoryFactory) {
+	t.Helper()
+	for _, f := range u.Faults {
+		single := fault.Universe{Name: "single", Faults: []fault.Fault{f}}
+		o := CampaignEngine(r, single, mk, 1, EngineOracle)
+		b := CampaignEngine(r, single, mk, 1, EngineBitParallel)
+		if o.Detected != b.Detected {
+			t.Errorf("  fault %s: oracle detected=%v bitpar detected=%v", f, o.Detected == 1, b.Detected == 1)
+		}
+	}
+}
+
+func womUniverses(n, m int) []fault.Universe {
+	return []fault.Universe{
+		{Name: "single-cell", Faults: fault.SingleCellUniverse(n, m)},
+		{Name: "stuck-open", Faults: fault.StuckOpenUniverse(n)},
+		{Name: "retention", Faults: fault.RetentionUniverse(n, m, 16)},
+		{Name: "decoder", Faults: fault.DecoderUniverse(n)},
+		{Name: "coupling", Faults: fault.CouplingUniverse(
+			append(fault.AdjacentPairs(n), fault.SamplePairs(n, m, 24, 7)...))},
+		fault.StandardUniverse(n, m, 12, 42),
+	}
+}
+
+func TestEngineEquivalenceMarch(t *testing.T) {
+	for _, n := range []int{16, 33, 48} {
+		for _, u := range womUniverses(n, 4) {
+			r := MarchRunner(march.MarchCMinus(), march.DataBackgrounds(4))
+			assertEngineEquivalence(t, r, u, womFactory(n, 4))
+		}
+		// Bit-oriented memories with a different March algorithm.
+		u := fault.Universe{Name: "bom-single", Faults: fault.SingleCellUniverse(n, 1)}
+		assertEngineEquivalence(t, MarchRunner(march.MarchB(), nil), u, bomFactory(n))
+	}
+}
+
+func TestEngineEquivalencePRT(t *testing.T) {
+	gen := prt.PaperWOMConfig().Gen
+	ringCfg := prt.PaperWOMConfig()
+	ringCfg.Ring = true
+	ringCfg.Verify = true
+	for _, n := range []int{17, 33, 48} {
+		for _, s := range []prt.Scheme{
+			prt.StandardScheme3(gen),
+			prt.StandardScheme3(gen).SignatureOnly(),
+			prt.ExtendedScheme(gen, 2),
+			{Name: "PRT-ring", Iters: []prt.Config{ringCfg}},
+		} {
+			for _, u := range womUniverses(n, 4) {
+				assertEngineEquivalence(t, PRTRunner(s), u, womFactory(n, 4))
+			}
+		}
+	}
+}
+
+func TestEngineEquivalenceBitSlicedLaneModes(t *testing.T) {
+	const n, m = 32, 4
+	for _, mode := range []prt.LaneMode{prt.ParallelLanes, prt.RandomLanes} {
+		r := BitSlicedRunner(fmt.Sprintf("lanes/%s", mode), prt.BitSlicedScheme3(m, mode))
+		for _, u := range []fault.Universe{
+			{Name: "single-cell", Faults: fault.SingleCellUniverse(n, m)},
+			{Name: "intra-word", Faults: fault.IntraWordUniverse(n, m)},
+			{Name: "coupling", Faults: fault.CouplingUniverse(fault.AdjacentPairs(n))},
+		} {
+			assertEngineEquivalence(t, r, u, womFactory(n, m))
+		}
+	}
+}
+
+func TestEngineEquivalenceNPSF(t *testing.T) {
+	const n, width = 36, 6
+	u := fault.Universe{Name: "npsf", Faults: append(
+		fault.NPSFUniverse(n, width, 3), fault.ANPSFUniverse(n, width, 5)...)}
+	mk := bomFactory(n)
+	gen := prt.PaperBOMConfig().Gen
+	assertEngineEquivalence(t, MarchRunner(march.MarchSS(), nil), u, mk)
+	assertEngineEquivalence(t, PRTRunner(prt.StandardScheme3(gen)), u, mk)
+}
+
+// TestEngineFallbacks: non-replay-safe runners and non-batchable
+// faults must silently take the oracle path with identical results.
+func TestEngineFallbacks(t *testing.T) {
+	const n = 16
+	u := fault.Universe{Name: "single", Faults: fault.SingleCellUniverse(n, 1)}
+	// An anonymous runner without the ReplaySafe marker.
+	r := opaqueRunner{inner: MarchRunner(march.MATSPlus(), nil)}
+	assertEngineEquivalence(t, r, u, bomFactory(n))
+}
+
+type opaqueRunner struct{ inner Runner }
+
+func (o opaqueRunner) Name() string                    { return o.inner.Name() + "/opaque" }
+func (o opaqueRunner) Run(m ram.Memory) (bool, uint64) { return o.inner.Run(m) }

@@ -187,6 +187,9 @@ func Run(t Test, mem ram.Memory, background ram.Word) Result {
 				res.Ops++
 				if op.Read {
 					got := mem.Read(a)
+					// Every March read is compared against the expected
+					// background value, so every read is replay-checked.
+					ram.AnnotateChecked(mem)
 					want := data[op.D]
 					// The algorithm's own bookkeeping must agree; if the
 					// expected background diverges from the tracked write

@@ -130,6 +130,24 @@ func RunBitSliced(c BitSlicedConfig, mem ram.Memory) (BitSlicedResult, error) {
 	var res BitSlicedResult
 	res.LaneDetected = make([]bool, c.M)
 
+	// Trace-replay annotation: every lane applies the same GF(2)
+	// recurrence to its own bit column, so each walk write is a
+	// bit-diagonal linear function of the k preceding reads.
+	var tapRows [][]uint32
+	var back []int
+	if _, tracing := mem.(ram.TraceAnnotator); tracing {
+		for j := 1; j <= k; j++ {
+			rows := make([]uint32, c.M)
+			if taps[j-1]&1 == 1 {
+				for r := 0; r < c.M; r++ {
+					rows[r] = 1 << uint(r) // lane r depends on lane r only
+				}
+			}
+			tapRows = append(tapRows, rows)
+			back = append(back, j)
+		}
+	}
+
 	// Seed phase: assemble the seed words from the per-lane seeds.
 	for i := 0; i < k; i++ {
 		var word ram.Word
@@ -159,12 +177,16 @@ func RunBitSliced(c BitSlicedConfig, mem ram.Memory) (BitSlicedResult, error) {
 			word |= ram.Word(next) << uint(b)
 		}
 		mem.Write(addr[i], word)
+		if tapRows != nil {
+			ram.AnnotateLinear(mem, back, tapRows, 0)
+		}
 		res.Ops++
 	}
 	// Observe per-lane Fin and compare with per-lane predictions.
 	fin := make([]ram.Word, k)
 	for i := 0; i < k; i++ {
 		fin[i] = mem.Read(addr[n-k+i])
+		ram.AnnotateChecked(mem)
 		res.Ops++
 	}
 	for b := 0; b < c.M; b++ {
@@ -187,6 +209,7 @@ func RunBitSliced(c BitSlicedConfig, mem ram.Memory) (BitSlicedResult, error) {
 		}
 		for i := 0; i < n; i++ {
 			got := mem.Read(addr[i])
+			ram.AnnotateChecked(mem)
 			res.Ops++
 			for b := 0; b < c.M; b++ {
 				if gf.Elem(got>>uint(b))&1 != laneSeqs[b][i]&1 {

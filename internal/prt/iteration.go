@@ -60,12 +60,29 @@ func RunIteration(cfg Config, mem ram.Memory) (IterationResult, error) {
 	taps := cfg.Gen.Taps() // a₁ … a_k
 	var res IterationResult
 
+	// When running on a trace recorder, describe each recurrence write
+	// as the affine map of the k preceding reads so the bit-parallel
+	// replay preserves error propagation through the walking automaton.
+	var tapRows [][]uint32
+	var backPlain, backStale []int
+	if _, tracing := mem.(ram.TraceAnnotator); tracing {
+		tapRows = make([][]uint32, k)
+		backPlain = make([]int, k)
+		backStale = make([]int, k)
+		for j := 1; j <= k; j++ {
+			tapRows[j-1] = mulRows(f, taps[j-1])
+			backPlain[j-1] = k - j + 1
+			backStale[j-1] = k - j + 2
+		}
+	}
+
 	capture := cfg.CaptureStale && cfg.StaleExpect != nil
 	// Phase 1: seed Init into the first k cells of the trajectory
 	// (capturing their stale contents first when configured).
 	for i := 0; i < k; i++ {
 		if capture {
 			stale := gf.Elem(mem.Read(addr[i]))
+			ram.AnnotateChecked(mem)
 			res.Ops++
 			if stale != cfg.StaleExpect[addr[i]] {
 				res.StaleMismatches++
@@ -89,14 +106,23 @@ func RunIteration(cfg Config, mem ram.Memory) (IterationResult, error) {
 			next = f.Add(next, f.Mul(taps[j-1], v))
 		}
 		target := addr[i%n]
-		if capture && i < n {
+		staleHere := capture && i < n
+		if staleHere {
 			stale := gf.Elem(mem.Read(target))
+			ram.AnnotateChecked(mem)
 			res.Ops++
 			if stale != cfg.StaleExpect[target] {
 				res.StaleMismatches++
 			}
 		}
 		mem.Write(target, ram.Word(next))
+		if tapRows != nil {
+			if staleHere {
+				ram.AnnotateLinear(mem, backStale, tapRows, ram.Word(cfg.Offset))
+			} else {
+				ram.AnnotateLinear(mem, backPlain, tapRows, ram.Word(cfg.Offset))
+			}
+		}
 		res.Ops++
 	}
 	// Phase 3: observe Fin (oldest first) and compare with the model.
@@ -107,6 +133,7 @@ func RunIteration(cfg Config, mem ram.Memory) (IterationResult, error) {
 	res.Fin = make([]gf.Elem, k)
 	for i := 0; i < k; i++ {
 		res.Fin[i] = gf.Elem(mem.Read(addr[(finBase+i)%n]))
+		ram.AnnotateChecked(mem)
 		res.Ops++
 	}
 	finStar, err := lfsr.AffineJumpAhead(cfg.Gen, cfg.Offset, cfg.Seed, uint64(steps-k))
@@ -135,12 +162,28 @@ func verifyPass(cfg Config, mem ram.Memory, addr []int, steps int) (mismatches i
 	want := expectedContents(cfg, len(addr), steps)
 	for i := 0; i < len(addr); i++ {
 		got := gf.Elem(mem.Read(addr[i]))
+		ram.AnnotateChecked(mem)
 		ops++
 		if got != want[i] {
 			mismatches++
 		}
 	}
 	return mismatches, ops
+}
+
+// mulRows returns the GF(2) matrix of multiplication by c as row
+// bitmasks: bit s of rows[r] is set when bit r of c·2^s is 1, i.e.
+// bit r of (c·v) = XOR over set bits s of v of (rows[r] >> s & 1).
+func mulRows(f *gf.Field, c gf.Elem) []uint32 {
+	m := f.M()
+	rows := make([]uint32, m)
+	for s := 0; s < m; s++ {
+		col := f.Mul(c, gf.Elem(1)<<uint(s))
+		for r := 0; r < m; r++ {
+			rows[r] |= uint32(col>>uint(r)&1) << uint(s)
+		}
+	}
+	return rows
 }
 
 // ExpectedFinalContents returns the fault-free post-iteration cell

@@ -1,0 +1,55 @@
+package ram
+
+// TraceAnnotator is implemented by instrumented memories (the trace
+// recorder of package sim) that capture an operation stream for later
+// bit-parallel replay.  Test executors that know the semantics of
+// their own operations call the annotation helpers below after each
+// operation; on a plain Memory the helpers are no-ops, so executors
+// behave identically whether or not they run instrumented.
+//
+// Two properties of an op stream matter for replay:
+//
+//   - which reads are *checked*, i.e. compared by the algorithm
+//     against its fault-free expected value (a March rD op, a PRT
+//     signature/verify/stale read).  On a fault-free memory the
+//     expected value always equals the recorded clean read value, so a
+//     replayed machine is detected exactly when one of its checked
+//     reads diverges from the recorded value.
+//   - how write data derives from earlier reads.  March stimuli are
+//     literal (data-independent), but the π-test recurrence writes a
+//     GF(2)-affine combination of the k preceding reads; replaying the
+//     literal clean value would sever the error propagation that makes
+//     pseudo-ring testing work.  AnnotateLinear captures the exact
+//     affine map so the replay can recompute each faulty machine's
+//     write from that machine's own (possibly corrupted) reads.
+type TraceAnnotator interface {
+	// AnnotateChecked marks the most recent read as compared against
+	// its fault-free expected value.
+	AnnotateChecked()
+	// AnnotateLinear marks the most recent write as the GF(2)-affine
+	// function of earlier reads:
+	//
+	//	bit r of data = bit r of offset XOR
+	//	    XOR_{j, s : rows[j][r] has bit s set} (bit s of read_j)
+	//
+	// where read_j is the back[j]-th most recent read (back distances
+	// are 1-based: back = 1 is the read immediately preceding the
+	// write).  back and rows are parallel; the callee copies both.
+	AnnotateLinear(back []int, rows [][]uint32, offset Word)
+}
+
+// AnnotateChecked marks the last read on mem as checked when mem
+// records a trace; otherwise it is a no-op.
+func AnnotateChecked(mem Memory) {
+	if a, ok := mem.(TraceAnnotator); ok {
+		a.AnnotateChecked()
+	}
+}
+
+// AnnotateLinear marks the last write on mem as an affine function of
+// earlier reads when mem records a trace; otherwise it is a no-op.
+func AnnotateLinear(mem Memory, back []int, rows [][]uint32, offset Word) {
+	if a, ok := mem.(TraceAnnotator); ok {
+		a.AnnotateLinear(back, rows, offset)
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+)
+
+// BatchSize is the number of machines simulated per replay pass — one
+// per bit of the lane words.
+const BatchSize = 64
+
+// Batchable reports whether every fault of the slice supports batch
+// injection, i.e. whether the whole universe can take the bit-parallel
+// path.
+func Batchable(faults []fault.Fault) bool {
+	for _, f := range faults {
+		if _, ok := f.(fault.BatchInjector); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Shards replays the trace over the whole fault universe, partitioned
+// into 64-machine batches distributed across workers goroutines
+// (0 = GOMAXPROCS) with an atomic cursor.  detected[i] reports fault
+// faults[i]; every batch writes a disjoint slice segment, so the
+// result is deterministic regardless of the worker count.
+func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, error) {
+	batches := (len(faults) + BatchSize - 1) / BatchSize
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > batches {
+		workers = batches
+	}
+	detected := make([]bool, len(faults))
+	var cursor atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				b := int(cursor.Add(1)) - 1
+				if b >= batches {
+					return
+				}
+				lo := b * BatchSize
+				hi := lo + BatchSize
+				if hi > len(faults) {
+					hi = len(faults)
+				}
+				mask, err := ReplayBatch(tr, faults[lo:hi])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for i := lo; i < hi; i++ {
+					detected[i] = mask>>uint(i-lo)&1 == 1
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return detected, nil
+}

@@ -1,0 +1,39 @@
+// Package sim is the bit-parallel fault-simulation engine behind the
+// coverage campaigns: a PPSFP-style simulator that packs 64 faulty
+// machines into every uint64 word and replays a recorded test trace
+// over all of them at once, instead of re-executing the full test
+// algorithm once per injected fault.
+//
+// The pipeline has three stages:
+//
+//  1. Trace recording (Recorder, Record): the test algorithm runs once
+//     on an instrumented fault-free memory and its operation stream is
+//     captured — (op, addr, data) plus two annotations supplied by the
+//     executors via ram.TraceAnnotator: which reads the algorithm
+//     compares against fault-free expectations ("checked" reads), and
+//     how recurrence writes derive from preceding reads (the π-test's
+//     GF(2)-affine map, so replay preserves error propagation through
+//     the walking automaton).
+//
+//  2. Bit-sliced replay (Array, ReplayBatch): each cell-bit of the
+//     memory becomes a uint64 lane word holding that bit's value
+//     across 64 simultaneously simulated machines.  Faults are
+//     installed through the fault.BatchInjector capability as
+//     per-machine masked hooks that reproduce the Inject decorator
+//     wrappers exactly.  A machine is detected as soon as one of its
+//     checked reads diverges from the recorded clean value — the same
+//     criterion the oracle's comparators apply, since every expected
+//     value a well-formed algorithm checks equals the clean-run value.
+//     A batch finishes early once all of its machines have detected.
+//
+//  3. Sharded campaigns (Shards): the fault universe is partitioned
+//     into 64-machine batches distributed over a worker pool with an
+//     atomic cursor; per-fault detection lands in disjoint slices, so
+//     results are deterministic regardless of worker count.
+//
+// The engine is exact, not approximate: package coverage cross-checks
+// it against the per-fault oracle path, and the equivalence property
+// tests assert identical per-class results over full fault universes.
+// Runners opt in via coverage.ReplaySafe; anything else (adaptive
+// stimuli, signature compression with aliasing) stays on the oracle.
+package sim

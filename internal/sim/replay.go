@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/fault"
+	"repro/internal/ram"
+)
+
+// ReplayBatch simulates up to 64 faults against the trace in one
+// bit-parallel pass and returns the detection mask: bit l is set when
+// machine l (fault faults[l]) produced at least one checked read
+// diverging from the recorded fault-free value.  The pass stops early
+// once every machine of the batch has detected.
+func ReplayBatch(tr *Trace, faults []fault.Fault) (uint64, error) {
+	if len(faults) == 0 {
+		return 0, nil
+	}
+	if !tr.Replayable() {
+		return 0, fmt.Errorf("sim: trace has no checked reads — the runner does not annotate for replay")
+	}
+	arr := NewArray(tr)
+	if err := arr.Inject(faults); err != nil {
+		return 0, err
+	}
+
+	full := ^uint64(0)
+	if len(faults) < 64 {
+		full = uint64(1)<<uint(len(faults)) - 1
+	}
+
+	// Ring of recent read lanes for affine recurrence writes: slot
+	// (reads-back) mod len holds the back-th most recent read.
+	var history [][]uint64
+	if tr.MaxBack > 0 {
+		history = make([][]uint64, tr.MaxBack)
+		for i := range history {
+			history[i] = make([]uint64, tr.Width)
+		}
+	}
+	data := make([]uint64, tr.Width) // scratch for write lanes
+
+	var detected uint64
+	reads := 0
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Kind == ram.OpRead {
+			val := arr.read(op.Addr)
+			if history != nil {
+				copy(history[reads%len(history)], val)
+			}
+			reads++
+			if op.Checked {
+				var diff uint64
+				for b := 0; b < tr.Width; b++ {
+					var clean uint64
+					if op.Data>>uint(b)&1 == 1 {
+						clean = ^uint64(0)
+					}
+					diff |= val[b] ^ clean
+				}
+				detected |= diff & full
+				if detected == full {
+					break // every machine of the batch has detected
+				}
+			}
+			continue
+		}
+		// Write: broadcast the literal clean value, or recompute the
+		// affine recurrence from each machine's own earlier reads so
+		// stored errors keep propagating exactly as in a real faulty
+		// machine.
+		if op.Lin == nil {
+			for b := 0; b < tr.Width; b++ {
+				if op.Data>>uint(b)&1 == 1 {
+					data[b] = ^uint64(0)
+				} else {
+					data[b] = 0
+				}
+			}
+		} else {
+			lin := op.Lin
+			for b := 0; b < tr.Width; b++ {
+				if lin.Offset>>uint(b)&1 == 1 {
+					data[b] = ^uint64(0)
+				} else {
+					data[b] = 0
+				}
+			}
+			for j, back := range lin.Back {
+				if back > reads {
+					return 0, fmt.Errorf("sim: linear write references read %d back but only %d reads recorded", back, reads)
+				}
+				src := history[(reads-back)%len(history)]
+				for r, rowMask := range lin.Rows[j] {
+					for rm := rowMask; rm != 0; rm &= rm - 1 {
+						data[r] ^= src[bits.TrailingZeros32(rm)]
+					}
+				}
+			}
+		}
+		arr.write(op.Addr, data)
+	}
+	return detected & full, nil
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ram"
+)
+
+// Linear describes a write as a GF(2)-affine function of earlier
+// reads; see ram.TraceAnnotator for the exact bit semantics.
+type Linear struct {
+	// Back[j] is the 1-based distance to source read j (1 = the read
+	// immediately preceding the write).
+	Back []int
+	// Rows[j][r] is the bitmask of source-read bits feeding bit r.
+	Rows [][]uint32
+	// Offset is the affine constant.
+	Offset ram.Word
+}
+
+// Op is one recorded memory operation (ram.OpRead or ram.OpWrite).
+type Op struct {
+	Kind ram.OpKind
+	Addr int
+	// Data is the written value for OpWrite and the fault-free sensed
+	// value for OpRead.
+	Data ram.Word
+	// Checked marks a read the algorithm compares against its
+	// fault-free expected value.
+	Checked bool
+	// Lin, when non-nil, overrides Data with an affine recomputation
+	// from the replaying machine's own earlier reads.
+	Lin *Linear
+}
+
+// Trace is the deterministic operation stream of one clean run of a
+// test algorithm, ready for bit-parallel replay.
+type Trace struct {
+	Size  int
+	Width int
+	// Init is the memory contents before the run.
+	Init []ram.Word
+	Ops  []Op
+	// Checked counts checked reads — a trace with none would declare
+	// every fault undetected, which almost always means the executor
+	// does not annotate; Replayable reports on it.
+	Checked int
+	// MaxBack is the largest Linear.Back distance, sizing the replay's
+	// read-history ring.
+	MaxBack int
+}
+
+// Replayable reports whether the trace carries the annotations replay
+// correctness depends on (at least one checked read).
+func (t *Trace) Replayable() bool { return t.Checked > 0 }
+
+// Recorder is an instrumented ram.Memory: it forwards every operation
+// to a fault-free backing memory and appends it to the trace.  It
+// implements ram.TraceAnnotator, so annotation-aware executors mark
+// checked reads and linear writes as they run.
+type Recorder struct {
+	mem ram.Memory
+	tr  Trace
+}
+
+// NewRecorder wraps a fresh fault-free memory.
+func NewRecorder(mem ram.Memory) *Recorder {
+	return &Recorder{
+		mem: mem,
+		tr: Trace{
+			Size:  mem.Size(),
+			Width: mem.Width(),
+			Init:  ram.Snapshot(mem),
+		},
+	}
+}
+
+// Read implements ram.Memory.
+func (r *Recorder) Read(addr int) ram.Word {
+	v := r.mem.Read(addr)
+	r.tr.Ops = append(r.tr.Ops, Op{Kind: ram.OpRead, Addr: addr, Data: v})
+	return v
+}
+
+// Write implements ram.Memory.
+func (r *Recorder) Write(addr int, v ram.Word) {
+	r.mem.Write(addr, v)
+	r.tr.Ops = append(r.tr.Ops, Op{Kind: ram.OpWrite, Addr: addr, Data: v})
+}
+
+// Size implements ram.Memory.
+func (r *Recorder) Size() int { return r.mem.Size() }
+
+// Width implements ram.Memory.
+func (r *Recorder) Width() int { return r.mem.Width() }
+
+// AnnotateChecked implements ram.TraceAnnotator.
+func (r *Recorder) AnnotateChecked() {
+	last := len(r.tr.Ops) - 1
+	if last < 0 || r.tr.Ops[last].Kind != ram.OpRead {
+		panic("sim: AnnotateChecked without a preceding read")
+	}
+	if !r.tr.Ops[last].Checked {
+		r.tr.Ops[last].Checked = true
+		r.tr.Checked++
+	}
+}
+
+// AnnotateLinear implements ram.TraceAnnotator.
+func (r *Recorder) AnnotateLinear(back []int, rows [][]uint32, offset ram.Word) {
+	last := len(r.tr.Ops) - 1
+	if last < 0 || r.tr.Ops[last].Kind != ram.OpWrite {
+		panic("sim: AnnotateLinear without a preceding write")
+	}
+	if len(back) != len(rows) {
+		panic(fmt.Sprintf("sim: %d back distances for %d row sets", len(back), len(rows)))
+	}
+	lin := &Linear{
+		Back:   append([]int(nil), back...),
+		Rows:   make([][]uint32, len(rows)),
+		Offset: offset,
+	}
+	for j, rw := range rows {
+		lin.Rows[j] = append([]uint32(nil), rw...)
+	}
+	for _, b := range back {
+		if b < 1 {
+			panic(fmt.Sprintf("sim: linear back distance %d must be >= 1", b))
+		}
+		if b > r.tr.MaxBack {
+			r.tr.MaxBack = b
+		}
+	}
+	r.tr.Ops[last].Lin = lin
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return &r.tr }
+
+// Record runs the test once on an instrumented clean memory and
+// returns the trace plus the clean run's outcome (detected on a
+// fault-free memory means a broken configuration — a campaign must
+// fall back to the oracle in that case, because checked-read
+// comparison against clean values no longer matches the algorithm's
+// own expectations).
+func Record(mem ram.Memory, run func(ram.Memory) (bool, uint64)) (*Trace, bool, uint64) {
+	rec := NewRecorder(mem)
+	detected, ops := run(rec)
+	return rec.Trace(), detected, ops
+}
