@@ -272,28 +272,43 @@ func BenchmarkSignatureVsVerify(b *testing.B) {
 	})
 }
 
-// BenchmarkCampaign compares the two coverage engines on the
-// acceptance workload: a 1024-cell SAF+CF campaign (every stuck-at and
-// transition fault plus all adjacent-cell coupling faults) under
-// March C-.  The bit-parallel engine packs 64 faulty machines per
-// uint64 word and replays the recorded trace once per batch; the
-// oracle re-runs the full algorithm per fault.  The custom metric is
-// faults simulated per second.
+// BenchmarkCampaign compares the three coverage engines on the
+// acceptance workload: bit-oriented SAF+CF campaigns under March C-.
+// The oracle re-runs the full algorithm per fault; bitpar replays the
+// recorded trace per 64-fault batch, rebuilding the machine array each
+// time; compiled lowers the trace once and replays it allocation-free
+// over per-worker arenas with width-1 kernels and fault collapsing.
+// The 1K size keeps the oracle comparable; the 64K size is the
+// production regime (the oracle would take hours there) with coupling
+// pairs sampled to bound the universe.  The custom metric is faults
+// simulated per second.
 func BenchmarkCampaign(b *testing.B) {
-	const n = 1024
-	u := fault.Universe{Name: "saf+cf", Faults: append(
-		fault.SingleCellUniverse(n, 1),
-		fault.CouplingUniverse(fault.AdjacentPairs(n))...)}
-	mk := func() ram.Memory { return ram.NewBOM(n) }
 	r := coverage.MarchRunner(march.MarchCMinus(), nil)
-	for _, engine := range []coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel} {
-		b.Run(engine.String(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := coverage.CampaignEngine(r, u, mk, 0, engine)
-				sink = uint64(res.Detected)
-			}
-			b.ReportMetric(float64(u.Len())*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
-		})
+	for _, bc := range []struct {
+		n       int
+		pairs   func(n int) []fault.CouplingPair
+		engines []coverage.Engine
+	}{
+		{1024, fault.AdjacentPairs,
+			[]coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel, coverage.EngineCompiled}},
+		{65536, func(n int) []fault.CouplingPair { return fault.SamplePairs(n, 1, 2048, 1) },
+			[]coverage.Engine{coverage.EngineBitParallel, coverage.EngineCompiled}},
+	} {
+		n := bc.n
+		u := fault.Universe{Name: "saf+cf", Faults: append(
+			fault.SingleCellUniverse(n, 1),
+			fault.CouplingUniverse(bc.pairs(n))...)}
+		mk := func() ram.Memory { return ram.NewBOM(n) }
+		for _, engine := range bc.engines {
+			b.Run(fmt.Sprintf("n=%d/%s", n, engine), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := coverage.CampaignEngine(r, u, mk, 0, engine)
+					sink = uint64(res.Detected)
+				}
+				b.ReportMetric(float64(u.Len())*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+			})
+		}
 	}
 }
 
@@ -306,8 +321,9 @@ func BenchmarkCampaignPRT(b *testing.B) {
 		fault.CouplingUniverse(fault.AdjacentPairs(n))...)}
 	mk := func() ram.Memory { return ram.NewWOM(n, 4) }
 	r := coverage.PRTRunner(prt.StandardScheme3(prt.PaperWOMConfig().Gen))
-	for _, engine := range []coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel} {
-		b.Run(engine.String(), func(b *testing.B) {
+	for _, engine := range []coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel, coverage.EngineCompiled} {
+		b.Run(fmt.Sprintf("n=%d/%s", n, engine), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res := coverage.CampaignEngine(r, u, mk, 0, engine)
 				sink = uint64(res.Detected)

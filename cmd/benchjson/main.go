@@ -1,0 +1,83 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON array on stdout, so CI can archive the perf
+// trajectory (faults/s, ns/op, allocs/op per engine) across PRs:
+//
+//	go test -run xxx -bench BenchmarkCampaign -benchmem . | benchjson > BENCH_campaign.json
+//
+// Each benchmark line becomes one object:
+//
+//	{"name": "Campaign/n=1024/compiled", "iterations": 1,
+//	 "metrics": {"ns/op": 12345678, "faults/s": 2.3e6, "allocs/op": 42}}
+//
+// Non-benchmark lines (the tables the benches print, PASS/ok trailers)
+// are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkCampaign/n=1024/oracle-8  1  123456 ns/op  9.5e+04 faults/s  160 B/op  3 allocs/op
+//
+// and reports ok=false for anything else.
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS suffix of the first path segment.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	e := Entry{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, len(e.Metrics) > 0
+}
+
+func main() {
+	var entries []Entry
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if e, ok := parseLine(sc.Text()); ok {
+			entries = append(entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

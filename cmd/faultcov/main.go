@@ -4,23 +4,27 @@
 //
 // Usage:
 //
-//	faultcov                 # all experiments (bit-parallel engine)
+//	faultcov                 # all experiments (compiled engine)
 //	faultcov -exp e6         # one experiment (fig1a,fig1b,fig2,e4..e11)
 //	faultcov -csv            # CSV output
 //	faultcov -engine oracle  # per-fault reference engine
+//	faultcov -workers 4      # fixed campaign worker count
+//	faultcov -collapse=false # simulate the full universe, uncollapsed
 //
-// The -engine flag selects the campaign execution strategy: "bitpar"
-// (default) replays a recorded test trace over 64-machine batches —
-// the fast path of package sim — while "oracle" re-runs the full
-// algorithm once per injected fault.  Both produce identical tables;
-// the oracle is the reference the bit-parallel engine is
-// property-tested against.
+// The -engine flag selects the campaign execution strategy: "compiled"
+// (default) lowers the recorded test trace into a flat instruction
+// program replayed allocation-free over per-worker arenas with
+// structural fault collapsing; "bitpar" is the per-batch trace
+// interpreter; "oracle" re-runs the full algorithm once per injected
+// fault.  All three produce identical tables; the oracle is the
+// reference the replay engines are property-tested against.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro"
@@ -31,7 +35,9 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id: fig1a, fig1b, fig2, e4…e11 or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	engine := flag.String("engine", "bitpar", "campaign engine: bitpar (trace replay, 64 faults/word) or oracle (one run per fault)")
+	engine := flag.String("engine", "compiled", "campaign engine: compiled (arena replay), bitpar (per-batch interpreter) or oracle (one run per fault)")
+	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	collapse := flag.Bool("collapse", true, "collapse equivalent faults before simulation (compiled engine)")
 	flag.Parse()
 
 	eng, err := coverage.ParseEngine(*engine)
@@ -40,6 +46,16 @@ func main() {
 		os.Exit(2)
 	}
 	coverage.SetDefaultEngine(eng)
+	coverage.SetDefaultWorkers(*workers)
+	coverage.SetCollapse(*collapse)
+
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	if !*csv {
+		fmt.Printf("# engine=%s workers=%d collapse=%v\n\n", eng, effWorkers, *collapse)
+	}
 
 	byID := map[string]func() *report.Table{
 		"fig1a": func() *report.Table { return repro.ExperimentFig1a(16) },

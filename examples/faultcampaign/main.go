@@ -3,10 +3,13 @@
 // baselines, reproducing the coverage comparison of experiment E6 at a
 // custom size.
 //
-// It also demonstrates the two campaign engines: the per-fault oracle
-// and the bit-parallel trace-replay engine (package sim), which packs
-// 64 faulty machines into every uint64 word, produces identical
-// results, and is benchmarked here side by side.
+// It also demonstrates the three campaign engines: the per-fault
+// oracle, the bit-parallel trace-replay engine (package sim), which
+// packs 64 faulty machines into every uint64 word, and the compiled
+// engine, which lowers the trace to a flat instruction program replayed
+// allocation-free over per-worker arenas with fault collapsing.  All
+// three produce identical results and are benchmarked here side by
+// side, with per-engine faults/s.
 package main
 
 import (
@@ -69,9 +72,12 @@ func main() {
 	}
 	d.Render(os.Stdout)
 
-	// Engine comparison: same campaign, per-fault oracle versus
-	// bit-parallel trace replay, on a larger memory where the
-	// difference matters.
+	// Engine comparison: same campaign under the per-fault oracle, the
+	// bit-parallel trace interpreter, and the compiled arena engine, on
+	// a larger memory where the difference matters.  The "simulated"
+	// column shows how many machines actually ran: the compiled engine
+	// collapses equivalent faults and expands the representatives'
+	// results back over the universe.
 	fmt.Println()
 	bigN := 512
 	bigU := fault.Universe{Name: "saf+tf+cf", Faults: append(
@@ -81,12 +87,17 @@ func main() {
 	runner := coverage.MarchRunner(march.MarchCMinus(), nil)
 
 	e := report.New(fmt.Sprintf("engine comparison — March C- on n=%d, %d faults", bigN, bigU.Len()),
-		"engine", "coverage", "wall time", "faults/s")
-	for _, engine := range []coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel} {
+		"engine", "coverage", "simulated", "wall time", "faults/s")
+	for _, engine := range []coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel, coverage.EngineCompiled} {
 		start := time.Now()
 		r := coverage.CampaignEngine(runner, bigU, bigMk, 0, engine)
 		el := time.Since(start)
+		simulated := r.Total
+		if r.Stats != nil {
+			simulated = r.Stats.Reps
+		}
 		e.AddRowf(engine.String(), report.Percent(r.Detected, r.Total),
+			fmt.Sprintf("%d", simulated),
 			el.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.0f", float64(r.Total)/el.Seconds()))
 	}

@@ -45,35 +45,47 @@ type ReplaySafe interface {
 type Engine int
 
 const (
-	// EngineBitParallel replays a recorded trace over 64-machine
-	// batches (package sim) and falls back to the oracle per-universe
-	// when the runner or a fault cannot take the fast path.
-	EngineBitParallel Engine = iota
+	// EngineCompiled lowers the recorded trace into a flat instruction
+	// program once per campaign and replays it over per-worker arenas
+	// with width-specialized kernels and structural fault collapsing —
+	// the default, allocation-free fast path.  It falls back to the
+	// oracle per-universe when the runner or a fault cannot take it.
+	EngineCompiled Engine = iota
+	// EngineBitParallel replays the recorded trace over 64-machine
+	// batches with the per-batch interpreter (the PR 1 path, kept as a
+	// mid-tier reference: it rebuilds the machine array every batch).
+	EngineBitParallel
 	// EngineOracle re-runs the full algorithm once per injected fault —
 	// the reference semantics every optimisation is measured against.
 	EngineOracle
 )
 
 func (e Engine) String() string {
-	if e == EngineOracle {
+	switch e {
+	case EngineOracle:
 		return "oracle"
+	case EngineBitParallel:
+		return "bitpar"
+	default:
+		return "compiled"
 	}
-	return "bitpar"
 }
 
 // ParseEngine converts a -engine flag value.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
+	case "compiled", "arena":
+		return EngineCompiled, nil
 	case "bitpar", "bit-parallel", "sim":
 		return EngineBitParallel, nil
 	case "oracle", "reference":
 		return EngineOracle, nil
 	}
-	return 0, fmt.Errorf("coverage: unknown engine %q (want oracle or bitpar)", s)
+	return 0, fmt.Errorf("coverage: unknown engine %q (want oracle, bitpar or compiled)", s)
 }
 
-// defaultEngine is the engine Campaign uses; the bit-parallel path is
-// the default fast path and is property-tested to produce results
+// defaultEngine is the engine Campaign uses; the compiled path is the
+// default fast path and is property-tested to produce results
 // byte-identical to the oracle.
 var defaultEngine atomic.Int32
 
@@ -83,6 +95,34 @@ func SetDefaultEngine(e Engine) { defaultEngine.Store(int32(e)) }
 
 // DefaultEngine returns the engine Campaign currently uses.
 func DefaultEngine() Engine { return Engine(defaultEngine.Load()) }
+
+// defaultWorkers is the worker count used when a campaign is invoked
+// with workers <= 0; its own zero value defers to GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers fixes the worker count campaigns use when invoked
+// with workers <= 0 (the -workers flag); n <= 0 restores GOMAXPROCS.
+func SetDefaultWorkers(n int) { defaultWorkers.Store(int32(n)) }
+
+// DefaultWorkers returns the effective default worker count.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// collapseOff disables structural fault collapsing on the compiled
+// engine; the zero value means collapsing is on.
+var collapseOff atomic.Bool
+
+// SetCollapse toggles structural fault collapsing (the -collapse flag).
+// Collapsing is exact — collapsed campaigns are property-tested
+// byte-identical to full ones — so it defaults to on.
+func SetCollapse(on bool) { collapseOff.Store(!on) }
+
+// CollapseEnabled reports whether the compiled engine collapses.
+func CollapseEnabled() bool { return !collapseOff.Load() }
 
 // MemoryFactory builds a fresh fault-free memory for each trial.
 type MemoryFactory func() ram.Memory
@@ -114,6 +154,27 @@ type Result struct {
 	// FalsePositive is set when the algorithm flags a fault-free
 	// memory — a broken configuration.
 	FalsePositive bool
+	// Stats describes how the fast path executed the campaign; nil when
+	// the oracle ran.  It is diagnostic metadata: Result equality is
+	// defined over the detection tallies, so the equivalence tests zero
+	// it before comparing engines.
+	Stats *EngineStats
+}
+
+// EngineStats is the fast path's execution report.
+type EngineStats struct {
+	// Engine is the replay strategy that actually ran.
+	Engine Engine
+	// Workers is the goroutine count batches were sharded over.
+	Workers int
+	// Reps is the number of faults simulated after collapsing
+	// (== Total when collapsing was off or not applicable).
+	Reps int
+	// ProgramOps and TrimmedOps report the compiled instruction count
+	// and how many trailing trace ops the compiler dropped (compiled
+	// engine only).
+	ProgramOps int
+	TrimmedOps int
 }
 
 // Coverage returns the overall detection ratio.
@@ -146,7 +207,7 @@ func Campaign(r Runner, u fault.Universe, mk MemoryFactory, workers int) Result 
 // CampaignEngine is Campaign with an explicit engine choice.
 func CampaignEngine(r Runner, u fault.Universe, mk MemoryFactory, workers int, engine Engine) Result {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = DefaultWorkers()
 	}
 	res := Result{
 		Runner:   r.Name(),
@@ -154,11 +215,11 @@ func CampaignEngine(r Runner, u fault.Universe, mk MemoryFactory, workers int, e
 		Total:    len(u.Faults),
 		ByClass:  make(map[fault.Class]ClassStat),
 	}
-	// Clean baseline; under the bit-parallel engine this one run also
+	// Clean baseline; under the replay engines this one run also
 	// records the replay trace.
 	var detected []bool
 	_, replaySafe := r.(ReplaySafe)
-	if engine == EngineBitParallel && replaySafe && sim.Batchable(u.Faults) {
+	if engine != EngineOracle && replaySafe && sim.Batchable(u.Faults) {
 		tr, cleanDetected, cleanOps := sim.Record(mk(), r.Run)
 		res.OpsCleanRun = cleanOps
 		res.FalsePositive = cleanDetected
@@ -166,16 +227,16 @@ func CampaignEngine(r Runner, u fault.Universe, mk MemoryFactory, workers int, e
 		// (clean values no longer equal the algorithm's expectations):
 		// keep the oracle semantics instead.
 		if !cleanDetected && tr.Replayable() {
-			d, err := sim.Shards(tr, u.Faults, workers)
+			d, stats, err := replayDetect(tr, u, workers, engine)
 			if err != nil {
 				// Both non-batchable faults and non-replayable traces
 				// were pre-checked, so an error here is a broken
 				// invariant in the engine — failing loudly beats
 				// silently delivering correct-but-slow oracle results
-				// under the bitpar label.
-				panic(fmt.Sprintf("coverage: bit-parallel replay of %s on %s: %v", r.Name(), u.Name, err))
+				// under a fast-path label.
+				panic(fmt.Sprintf("coverage: %s replay of %s on %s: %v", engine, r.Name(), u.Name, err))
 			}
-			detected = d
+			detected, res.Stats = d, stats
 		}
 	} else {
 		cleanDetected, cleanOps := r.Run(mk())
@@ -196,6 +257,47 @@ func CampaignEngine(r Runner, u fault.Universe, mk MemoryFactory, workers int, e
 		res.ByClass[f.Class()] = cs
 	}
 	return res
+}
+
+// replayDetect runs the selected replay fast path over the universe.
+// The compiled engine lowers the trace once, optionally collapses the
+// universe to equivalence-class representatives, replays them over
+// per-worker arenas, and expands the representatives' results back to
+// the full universe.
+func replayDetect(tr *sim.Trace, u fault.Universe, workers int, engine Engine) ([]bool, *EngineStats, error) {
+	if engine == EngineBitParallel {
+		d, err := sim.Shards(tr, u.Faults, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d, &EngineStats{Engine: engine, Workers: workers, Reps: len(u.Faults)}, nil
+	}
+	prog, err := sim.Compile(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	faults := u.Faults
+	var col fault.Collapsed
+	collapsed := CollapseEnabled()
+	if collapsed {
+		sum := prog.Summary()
+		col = fault.Collapse(u.Faults, &sum)
+		faults = col.Reps
+	}
+	d, err := sim.ShardsCompiled(prog, faults, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if collapsed {
+		d = col.Expand(d) // representative results back onto the universe
+	}
+	return d, &EngineStats{
+		Engine:     EngineCompiled,
+		Workers:    workers,
+		Reps:       len(faults),
+		ProgramOps: prog.Ops(),
+		TrimmedOps: prog.TrimmedOps(),
+	}, nil
 }
 
 // oracleDetect is the reference path: one full algorithm run per

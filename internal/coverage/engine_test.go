@@ -12,23 +12,39 @@ import (
 )
 
 // The engine-equivalence property: for every replay-safe runner and
-// every batchable fault universe, the bit-parallel engine must produce
-// a Result byte-identical to the per-fault oracle — same totals, same
-// per-class detected counts, same clean-run metadata.
+// every batchable fault universe, the bit-parallel and compiled
+// engines — the latter with collapsing both on and off — must produce
+// a Result byte-identical to the per-fault oracle: same totals, same
+// per-class detected counts, same clean-run metadata.  Stats is
+// diagnostic metadata outside the contract and is zeroed before
+// comparing.
 
 func assertEngineEquivalence(t *testing.T, r Runner, u fault.Universe, mk MemoryFactory) {
 	t.Helper()
 	oracle := CampaignEngine(r, u, mk, 4, EngineOracle)
-	bitpar := CampaignEngine(r, u, mk, 4, EngineBitParallel)
-	if !reflect.DeepEqual(oracle, bitpar) {
-		t.Errorf("%s on %s: engines disagree\noracle: %+v\nbitpar: %+v",
-			r.Name(), u.Name, oracle, bitpar)
-		for _, c := range oracle.Classes() {
-			if oracle.ByClass[c] != bitpar.ByClass[c] {
-				t.Errorf("  class %s: oracle %+v bitpar %+v", c, oracle.ByClass[c], bitpar.ByClass[c])
+	for _, mode := range []struct {
+		name     string
+		engine   Engine
+		collapse bool
+	}{
+		{"bitpar", EngineBitParallel, false},
+		{"compiled", EngineCompiled, false},
+		{"compiled+collapse", EngineCompiled, true},
+	} {
+		SetCollapse(mode.collapse)
+		got := CampaignEngine(r, u, mk, 4, mode.engine)
+		SetCollapse(true)
+		got.Stats = nil
+		if !reflect.DeepEqual(oracle, got) {
+			t.Errorf("%s on %s: engines disagree\noracle: %+v\n%s: %+v",
+				r.Name(), u.Name, oracle, mode.name, got)
+			for _, c := range oracle.Classes() {
+				if oracle.ByClass[c] != got.ByClass[c] {
+					t.Errorf("  class %s: oracle %+v %s %+v", c, oracle.ByClass[c], mode.name, got.ByClass[c])
+				}
 			}
+			perFaultDiff(t, r, u, mk)
 		}
-		perFaultDiff(t, r, u, mk)
 	}
 }
 
@@ -39,9 +55,11 @@ func perFaultDiff(t *testing.T, r Runner, u fault.Universe, mk MemoryFactory) {
 	for _, f := range u.Faults {
 		single := fault.Universe{Name: "single", Faults: []fault.Fault{f}}
 		o := CampaignEngine(r, single, mk, 1, EngineOracle)
-		b := CampaignEngine(r, single, mk, 1, EngineBitParallel)
-		if o.Detected != b.Detected {
-			t.Errorf("  fault %s: oracle detected=%v bitpar detected=%v", f, o.Detected == 1, b.Detected == 1)
+		for _, engine := range []Engine{EngineBitParallel, EngineCompiled} {
+			b := CampaignEngine(r, single, mk, 1, engine)
+			if o.Detected != b.Detected {
+				t.Errorf("  fault %s: oracle detected=%v %s detected=%v", f, o.Detected == 1, engine, b.Detected == 1)
+			}
 		}
 	}
 }

@@ -76,6 +76,16 @@ type BatchInjector interface {
 	BatchInject(reg HookRegistry, lane int)
 }
 
+// PooledInjector is the allocation-free variant of BatchInjector used
+// by the compiled replay engine: hook objects are drawn from a
+// per-worker Pool instead of the heap, so steady-state batches allocate
+// nothing.  A nil pool degrades to plain allocation.  All concrete
+// fault types of this package implement it.
+type PooledInjector interface {
+	BatchInjector
+	BatchInjectPooled(reg HookRegistry, lane int, p *Pool)
+}
+
 // laneWord assembles machine lane's bits of cell into a Word.
 func laneWord(m LaneMemory, cell, lane int) ram.Word {
 	var w ram.Word
@@ -116,17 +126,22 @@ func (h *safHook) PostWrite(m LaneMemory, cell int, _ []uint64) {
 	m.SetStoredLane(cell, h.bit, h.force, h.mask)
 }
 
-// BatchInject implements BatchInjector.  The stored bit is forced at
-// install time (power-on) and re-forced after every write, so reads —
-// which sense the stored lane — always observe the stuck value.
-func (f SAF) BatchInject(reg HookRegistry, lane int) {
+// BatchInject implements BatchInjector.
+func (f SAF) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.  The stored bit is
+// forced at install time (power-on) and re-forced after every write, so
+// reads — which sense the stored lane — always observe the stuck value.
+func (f SAF) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
 	mask := uint64(1) << uint(lane)
 	var force uint64
 	if f.Value&1 == 1 {
 		force = mask
 	}
 	reg.SetStoredLane(f.Cell, f.Bit, force, mask)
-	reg.OnWriteTo(f.Cell, &safHook{bit: f.Bit, force: force, mask: mask})
+	h := p.newSAF()
+	h.bit, h.force, h.mask = f.Bit, force, mask
+	reg.OnWriteTo(f.Cell, h)
 }
 
 // --- TF ---
@@ -152,8 +167,13 @@ func (h *tfHook) PostWrite(m LaneMemory, cell int, data []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f TF) BatchInject(reg HookRegistry, lane int) {
-	reg.OnWriteTo(f.Cell, &tfHook{bit: f.Bit, up: f.Up, mask: uint64(1) << uint(lane)})
+func (f TF) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f TF) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
+	h := p.newTF()
+	h.bit, h.up, h.mask = f.Bit, f.Up, uint64(1)<<uint(lane)
+	reg.OnWriteTo(f.Cell, h)
 }
 
 // --- SOF ---
@@ -190,8 +210,12 @@ func (h *sofHook) OnRead(m LaneMemory, cell int, val []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f SOF) BatchInject(reg HookRegistry, lane int) {
-	h := &sofHook{cell: f.Cell, lane: lane, mask: uint64(1) << uint(lane)}
+func (f SOF) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f SOF) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
+	h := p.newSOF()
+	h.cell, h.lane, h.mask = f.Cell, lane, uint64(1)<<uint(lane)
 	reg.OnWriteTo(f.Cell, h)
 	reg.OnEveryRead(h)
 }
@@ -220,13 +244,17 @@ func (h *drfHook) OnRead(m LaneMemory, cell int, val []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f DRF) BatchInject(reg HookRegistry, lane int) {
+func (f DRF) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f DRF) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
 	mask := uint64(1) << uint(lane)
 	var decay uint64
 	if f.Decay&1 == 1 {
 		decay = mask
 	}
-	h := &drfHook{bit: f.Bit, decay: decay, mask: mask, delay: f.Delay}
+	h := p.newDRF()
+	h.bit, h.decay, h.mask, h.delay = f.Bit, decay, mask, f.Delay
 	reg.OnWriteTo(f.Cell, h)
 	reg.OnReadOf(f.Cell, h)
 }
@@ -276,8 +304,12 @@ func (h *afHook) OnRead(m LaneMemory, _ int, val []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f AF) BatchInject(reg HookRegistry, lane int) {
-	h := &afHook{f: f, lane: lane, mask: uint64(1) << uint(lane)}
+func (f AF) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f AF) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
+	h := p.newAF()
+	h.f, h.lane, h.mask = f, lane, uint64(1)<<uint(lane)
 	reg.OnWriteTo(f.Addr, h)
 	reg.OnReadOf(f.Addr, h)
 }
@@ -307,8 +339,13 @@ func (h *cfinHook) PostWrite(m LaneMemory, _ int, data []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f CFin) BatchInject(reg HookRegistry, lane int) {
-	reg.OnWriteTo(f.AggCell, &cfinHook{f: f, mask: uint64(1) << uint(lane)})
+func (f CFin) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f CFin) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
+	h := p.newCFin()
+	h.f, h.mask = f, uint64(1)<<uint(lane)
+	reg.OnWriteTo(f.AggCell, h)
 }
 
 // --- CFid ---
@@ -332,13 +369,18 @@ func (h *cfidHook) PostWrite(m LaneMemory, _ int, data []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f CFid) BatchInject(reg HookRegistry, lane int) {
+func (f CFid) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f CFid) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
 	mask := uint64(1) << uint(lane)
 	var force uint64
 	if f.Value&1 == 1 {
 		force = mask
 	}
-	reg.OnWriteTo(f.AggCell, &cfidHook{f: f, force: force, mask: mask})
+	h := p.newCFid()
+	h.f, h.force, h.mask = f, force, mask
+	reg.OnWriteTo(f.AggCell, h)
 }
 
 // --- CFst ---
@@ -360,16 +402,21 @@ func (h *cfstHook) OnRead(m LaneMemory, _ int, val []uint64) {
 	}
 }
 
-// BatchInject implements BatchInjector.  The forcing is level-
+// BatchInject implements BatchInjector.
+func (f CFst) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.  The forcing is level-
 // sensitive and applied to the sensed value only, as in the Inject
 // wrapper.
-func (f CFst) BatchInject(reg HookRegistry, lane int) {
+func (f CFst) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
 	mask := uint64(1) << uint(lane)
 	var force uint64
 	if f.Value&1 == 1 {
 		force = mask
 	}
-	reg.OnReadOf(f.VicCell, &cfstHook{f: f, force: force, mask: mask})
+	h := p.newCFst()
+	h.f, h.force, h.mask = f, force, mask
+	reg.OnReadOf(f.VicCell, h)
 }
 
 // --- BF ---
@@ -397,8 +444,12 @@ func (h *bfHook) OnRead(m LaneMemory, cell int, val []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f BF) BatchInject(reg HookRegistry, lane int) {
-	h := &bfHook{f: f, mask: uint64(1) << uint(lane)}
+func (f BF) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f BF) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
+	h := p.newBF()
+	h.f, h.mask = f, uint64(1)<<uint(lane)
 	reg.OnReadOf(f.CellA, h)
 	if f.CellB != f.CellA {
 		reg.OnReadOf(f.CellB, h)
@@ -428,13 +479,18 @@ func (h *snpsfHook) OnRead(m LaneMemory, _ int, val []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f SNPSF) BatchInject(reg HookRegistry, lane int) {
+func (f SNPSF) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f SNPSF) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
 	mask := uint64(1) << uint(lane)
 	var force uint64
 	if f.Value&1 == 1 {
 		force = mask
 	}
-	reg.OnReadOf(f.Nb.Base, &snpsfHook{f: f, force: force, mask: mask})
+	h := p.newSNPSF()
+	h.f, h.force, h.mask = f, force, mask
+	reg.OnReadOf(f.Nb.Base, h)
 }
 
 // --- ANPSF ---
@@ -469,7 +525,10 @@ func (h *anpsfHook) PostWrite(m LaneMemory, _ int, data []uint64) {
 }
 
 // BatchInject implements BatchInjector.
-func (f ANPSF) BatchInject(reg HookRegistry, lane int) {
+func (f ANPSF) BatchInject(reg HookRegistry, lane int) { f.BatchInjectPooled(reg, lane, nil) }
+
+// BatchInjectPooled implements PooledInjector.
+func (f ANPSF) BatchInjectPooled(reg HookRegistry, lane int, p *Pool) {
 	order := [4]int{f.Nb.N, f.Nb.E, f.Nb.S, f.Nb.W}
 	trig := order[f.Trigger]
 	if trig < 0 {
@@ -480,7 +539,9 @@ func (f ANPSF) BatchInject(reg HookRegistry, lane int) {
 	if f.Value&1 == 1 {
 		force = mask
 	}
-	reg.OnWriteTo(trig, &anpsfHook{f: f, force: force, mask: mask})
+	h := p.newANPSF()
+	h.f, h.force, h.mask = f, force, mask
+	reg.OnWriteTo(trig, h)
 }
 
 // laneTriggered reports whether a single machine's old→new bit pair

@@ -1,0 +1,144 @@
+package fault
+
+// Structural fault collapsing: before a campaign simulates a universe,
+// faults that provably produce the same detection outcome are grouped
+// into equivalence classes, one representative per class is simulated,
+// and the representative's result is expanded back over the class.
+// Every rule here is an exact equivalence — never a dominance
+// heuristic — so collapsed campaigns are byte-identical to full ones
+// (the engine-equivalence property tests assert this).
+//
+// Two rule families exist:
+//
+//   - trace-independent structural rules: value-identical duplicates;
+//     bridging faults, whose wired-AND/OR behaviour is symmetric in the
+//     two bridged bits (BF{a~b} ≡ BF{b~a}); and degenerate "benign"
+//     instances that behave exactly like a fault-free memory (NPSF
+//     with an incomplete neighbourhood, self-aliasing decoder faults,
+//     self-bridged bits).
+//
+//   - trace-conditioned rules, enabled by a TraceSummary from the trace
+//     compiler: when the trace has no affine recurrence writes, read
+//     values feed nothing but the checked-read comparators, so a
+//     stuck-at fault is detected exactly when some checked read of its
+//     cell expects the opposite polarity.  If checked reads expect both
+//     polarities of a bit (or none), SA0 and SA1 on that bit share one
+//     outcome and collapse to a single representative.
+
+// TraceSummary captures the replay-relevant properties of a recorded
+// test trace that trace-conditioned collapsing rules rely on.  It is
+// produced by the trace compiler (sim.(*Program).Summary); passing nil
+// to Collapse restricts it to the trace-independent rules.
+type TraceSummary struct {
+	// Width is the memory's cell width in bits.
+	Width int
+	// Affine reports whether any write derives from earlier reads.
+	// When true, read errors propagate between cells and per-cell
+	// detection reasoning is unsound, so the SAF rule is disabled.
+	Affine bool
+	// Expect[cell*Width+bit] is the set of polarities checked reads
+	// expect of that stored bit: bit 0 set when some checked read
+	// expects 0, bit 1 when some checked read expects 1.
+	Expect []uint8
+}
+
+// Collapsed is the result of collapsing a fault universe.
+type Collapsed struct {
+	// Reps holds one representative per equivalence class, in first-
+	// occurrence order of the original universe.
+	Reps []Fault
+	// Map[i] is the index into Reps whose simulation result decides
+	// fault i of the original universe.
+	Map []int
+}
+
+// Expand maps per-representative detection results back onto the full
+// universe.
+func (c *Collapsed) Expand(rep []bool) []bool {
+	out := make([]bool, len(c.Map))
+	for i, r := range c.Map {
+		out[i] = rep[r]
+	}
+	return out
+}
+
+// Saved returns how many simulations collapsing avoids.
+func (c *Collapsed) Saved() int { return len(c.Map) - len(c.Reps) }
+
+// benignKey is the shared equivalence class of faults that behave
+// exactly like a fault-free memory; its representative is always
+// reported undetected (a clean machine never diverges from the
+// recorded clean trace).
+type benignKey struct{}
+
+// safPairKey groups SA0/SA1 on one bit when the trace makes their
+// outcomes provably identical.
+type safPairKey struct{ cell, bit int }
+
+// Collapse partitions the universe into exact equivalence classes.
+// sum, when non-nil, enables the trace-conditioned rules; the caller
+// must have produced it from the same trace the representatives will be
+// simulated against.
+func Collapse(faults []Fault, sum *TraceSummary) Collapsed {
+	col := Collapsed{Map: make([]int, len(faults))}
+	index := make(map[any]int, len(faults))
+	for i, f := range faults {
+		key := collapseKey(f, sum)
+		if r, ok := index[key]; ok {
+			col.Map[i] = r
+			continue
+		}
+		r := len(col.Reps)
+		col.Reps = append(col.Reps, f)
+		index[key] = r
+		col.Map[i] = r
+	}
+	return col
+}
+
+// collapseKey computes the equivalence-class key of a fault.  Faults
+// with equal keys must be detected identically by any replay of the
+// summarised trace.  The default key is the fault value itself, which
+// collapses exact duplicates and nothing else.
+func collapseKey(f Fault, sum *TraceSummary) any {
+	switch t := f.(type) {
+	case SAF:
+		if sum != nil && !sum.Affine {
+			idx := t.Cell*sum.Width + t.Bit
+			if t.Bit < sum.Width && idx >= 0 && idx < len(sum.Expect) {
+				// Detected iff some checked read of the cell expects
+				// the opposite polarity: with both polarities expected
+				// (or neither), SA0 and SA1 coincide.
+				if e := sum.Expect[idx]; e == 0 || e == 3 {
+					return safPairKey{t.Cell, t.Bit}
+				}
+			}
+		}
+		return t
+	case BF:
+		if t.CellA == t.CellB && t.BitA == t.BitB {
+			return benignKey{} // x wired with itself is x
+		}
+		if t.CellA > t.CellB || (t.CellA == t.CellB && t.BitA > t.BitB) {
+			t.CellA, t.CellB = t.CellB, t.CellA
+			t.BitA, t.BitB = t.BitB, t.BitA
+		}
+		return t
+	case AF:
+		if t.Kind != AFNone && t.Addr == t.Target {
+			return benignKey{} // self-alias / self-multi is the identity
+		}
+		return t
+	case SNPSF:
+		if !t.Nb.Complete() {
+			return benignKey{} // incomplete neighbourhood never matches
+		}
+		return t
+	case ANPSF:
+		if !t.Nb.Complete() {
+			return benignKey{} // a missing neighbour blocks every firing
+		}
+		return t
+	}
+	return f
+}

@@ -1,0 +1,140 @@
+package fault
+
+// freelist recycles hook objects of one concrete type across batches.
+// get returns a zeroed object, reusing a previously handed-out one when
+// available; reset makes every object reusable again without freeing
+// it.  Pointers handed out before a reset must no longer be used.
+type freelist[T any] struct {
+	items []*T
+	used  int
+}
+
+func (l *freelist[T]) get() *T {
+	if l.used < len(l.items) {
+		h := l.items[l.used]
+		l.used++
+		var zero T
+		*h = zero
+		return h
+	}
+	h := new(T)
+	l.items = append(l.items, h)
+	l.used++
+	return h
+}
+
+func (l *freelist[T]) reset() { l.used = 0 }
+
+// Pool recycles the hook objects installed by BatchInjectPooled so that
+// steady-state replay batches allocate nothing: the first batches grow
+// the per-type free lists, later batches reuse them.  A Pool belongs to
+// one replay worker and is not safe for concurrent use.  All methods
+// tolerate a nil receiver by falling back to plain allocation, which
+// lets the pooled and unpooled injection paths share one code path.
+type Pool struct {
+	saf   freelist[safHook]
+	tf    freelist[tfHook]
+	sof   freelist[sofHook]
+	drf   freelist[drfHook]
+	af    freelist[afHook]
+	cfin  freelist[cfinHook]
+	cfid  freelist[cfidHook]
+	cfst  freelist[cfstHook]
+	bf    freelist[bfHook]
+	snpsf freelist[snpsfHook]
+	anpsf freelist[anpsfHook]
+}
+
+// Reset recycles every hook handed out since the previous Reset.  The
+// caller must have dropped all references to them (the machine array's
+// hook tables are cleared alongside).
+func (p *Pool) Reset() {
+	p.saf.reset()
+	p.tf.reset()
+	p.sof.reset()
+	p.drf.reset()
+	p.af.reset()
+	p.cfin.reset()
+	p.cfid.reset()
+	p.cfst.reset()
+	p.bf.reset()
+	p.snpsf.reset()
+	p.anpsf.reset()
+}
+
+func (p *Pool) newSAF() *safHook {
+	if p == nil {
+		return new(safHook)
+	}
+	return p.saf.get()
+}
+
+func (p *Pool) newTF() *tfHook {
+	if p == nil {
+		return new(tfHook)
+	}
+	return p.tf.get()
+}
+
+func (p *Pool) newSOF() *sofHook {
+	if p == nil {
+		return new(sofHook)
+	}
+	return p.sof.get()
+}
+
+func (p *Pool) newDRF() *drfHook {
+	if p == nil {
+		return new(drfHook)
+	}
+	return p.drf.get()
+}
+
+func (p *Pool) newAF() *afHook {
+	if p == nil {
+		return new(afHook)
+	}
+	return p.af.get()
+}
+
+func (p *Pool) newCFin() *cfinHook {
+	if p == nil {
+		return new(cfinHook)
+	}
+	return p.cfin.get()
+}
+
+func (p *Pool) newCFid() *cfidHook {
+	if p == nil {
+		return new(cfidHook)
+	}
+	return p.cfid.get()
+}
+
+func (p *Pool) newCFst() *cfstHook {
+	if p == nil {
+		return new(cfstHook)
+	}
+	return p.cfst.get()
+}
+
+func (p *Pool) newBF() *bfHook {
+	if p == nil {
+		return new(bfHook)
+	}
+	return p.bf.get()
+}
+
+func (p *Pool) newSNPSF() *snpsfHook {
+	if p == nil {
+		return new(snpsfHook)
+	}
+	return p.snpsf.get()
+}
+
+func (p *Pool) newANPSF() *anpsfHook {
+	if p == nil {
+		return new(anpsfHook)
+	}
+	return p.anpsf.get()
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Arena is one replay worker's reusable machine-array state for a
+// compiled program: lane buffer, hook tables, read-history ring,
+// scratch and a hook pool.  Between batches only the cells the
+// previous batch dirtied are restored (a dirty-cell list with epoch
+// stamps), so steady-state batches allocate nothing and touch
+// O(dirty) instead of O(Size×Width) memory.  An Arena is single-
+// threaded; Shards-style drivers create one per worker.
+type Arena struct {
+	p *Program
+
+	lanes []uint64 // lanes[cell*width+bit]
+	clock uint64
+
+	// Dirty-cell tracking: dirtyAt[c] == epoch marks c already recorded
+	// this batch.  The epoch bump in reset makes clearing O(dirty).
+	dirty   []int32
+	dirtyAt []uint32
+	epoch   uint32
+
+	// Hook tables, per cell; hookedW/hookedR remember which cells the
+	// current batch hooked so reset truncates only those (keeping the
+	// slices' capacity for the next batch).  flags mirrors the tables'
+	// non-emptiness as one byte per cell: the kernels' hot loops test
+	// it instead of loading 24-byte slice headers, keeping the lookup
+	// table cache-resident even at production memory sizes.
+	writeHooks [][]fault.WriteHook
+	readHooks  [][]fault.ReadHook
+	everyRead  []fault.ReadHook
+	hookedW    []int32
+	hookedR    []int32
+	flags      []uint8
+
+	hist []uint64 // read-history ring, maxBack*width words
+	val  []uint64 // scratch: sensed lanes of the current read
+	data []uint64 // scratch: lanes of the current write
+
+	pool fault.Pool
+}
+
+// NewArena builds a worker arena for the program.
+func NewArena(p *Program) *Arena {
+	a := &Arena{
+		p:          p,
+		lanes:      append([]uint64(nil), p.initLanes...),
+		dirtyAt:    make([]uint32, p.size),
+		epoch:      1,
+		writeHooks: make([][]fault.WriteHook, p.size),
+		readHooks:  make([][]fault.ReadHook, p.size),
+		flags:      make([]uint8, p.size),
+		val:        make([]uint64, p.width),
+		data:       make([]uint64, p.width),
+	}
+	if p.maxBack > 0 {
+		a.hist = make([]uint64, p.maxBack*p.width)
+	}
+	return a
+}
+
+// Size implements fault.LaneMemory.
+func (a *Arena) Size() int { return a.p.size }
+
+// Width implements fault.LaneMemory.
+func (a *Arena) Width() int { return a.p.width }
+
+// Clock implements fault.LaneMemory.
+func (a *Arena) Clock() uint64 { return a.clock }
+
+// StoredLane implements fault.LaneMemory.
+func (a *Arena) StoredLane(cell, bit int) uint64 { return a.lanes[cell*a.p.width+bit] }
+
+// SetStoredLane implements fault.LaneMemory.
+func (a *Arena) SetStoredLane(cell, bit int, value, mask uint64) {
+	a.markDirty(cell)
+	idx := cell*a.p.width + bit
+	a.lanes[idx] = a.lanes[idx]&^mask | value&mask
+}
+
+// markDirty records cell for restoration at the next reset.
+func (a *Arena) markDirty(cell int) {
+	if a.dirtyAt[cell] != a.epoch {
+		a.dirtyAt[cell] = a.epoch
+		a.dirty = append(a.dirty, int32(cell))
+	}
+}
+
+// Kernel-visible hook flags, one byte per cell.
+const (
+	flagRead  uint8 = 1 << iota // readHooks[cell] is non-empty
+	flagWrite                   // writeHooks[cell] is non-empty
+)
+
+// OnWriteTo implements fault.HookRegistry.
+func (a *Arena) OnWriteTo(cell int, h fault.WriteHook) {
+	if len(a.writeHooks[cell]) == 0 {
+		a.hookedW = append(a.hookedW, int32(cell))
+		a.flags[cell] |= flagWrite
+	}
+	a.writeHooks[cell] = append(a.writeHooks[cell], h)
+}
+
+// OnReadOf implements fault.HookRegistry.
+func (a *Arena) OnReadOf(cell int, h fault.ReadHook) {
+	if len(a.readHooks[cell]) == 0 {
+		a.hookedR = append(a.hookedR, int32(cell))
+		a.flags[cell] |= flagRead
+	}
+	a.readHooks[cell] = append(a.readHooks[cell], h)
+}
+
+// OnEveryRead implements fault.HookRegistry.
+func (a *Arena) OnEveryRead(h fault.ReadHook) {
+	a.everyRead = append(a.everyRead, h)
+}
+
+// reset restores the arena to the program's initial state, touching
+// only what the previous batch changed.
+func (a *Arena) reset() {
+	w := a.p.width
+	switch {
+	case a.p.dense || 2*len(a.dirty) >= a.p.size:
+		// Most cells dirtied (typical for full-array test algorithms,
+		// detected at compile time as dense): one contiguous copy beats
+		// per-cell restores — and the kernels skip dirty marking for
+		// dense programs entirely.
+		copy(a.lanes, a.p.initLanes)
+	case w == 1:
+		for _, c := range a.dirty {
+			a.lanes[c] = a.p.initLanes[c]
+		}
+	default:
+		for _, c := range a.dirty {
+			base := int(c) * w
+			copy(a.lanes[base:base+w], a.p.initLanes[base:base+w])
+		}
+	}
+	a.dirty = a.dirty[:0]
+	a.epoch++
+	if a.epoch == 0 { // stamp wrap-around: invalidate all stamps
+		clear(a.dirtyAt)
+		a.epoch = 1
+	}
+	for _, c := range a.hookedW {
+		a.writeHooks[c] = a.writeHooks[c][:0]
+		a.flags[c] &^= flagWrite
+	}
+	for _, c := range a.hookedR {
+		a.readHooks[c] = a.readHooks[c][:0]
+		a.flags[c] &^= flagRead
+	}
+	a.hookedW = a.hookedW[:0]
+	a.hookedR = a.hookedR[:0]
+	a.everyRead = a.everyRead[:0]
+	a.pool.Reset()
+	a.clock = 0
+}
+
+// inject installs each fault on its machine lane, preferring the
+// pooled (allocation-free) capability.
+func (a *Arena) inject(faults []fault.Fault) error {
+	if len(faults) > BatchSize {
+		return fmt.Errorf("sim: batch of %d faults exceeds the %d machine lanes", len(faults), BatchSize)
+	}
+	for lane, f := range faults {
+		switch bi := f.(type) {
+		case fault.PooledInjector:
+			bi.BatchInjectPooled(a, lane, &a.pool)
+		case fault.BatchInjector:
+			bi.BatchInject(a, lane)
+		default:
+			return fmt.Errorf("sim: fault %s (%T) does not support batch injection", f, f)
+		}
+	}
+	return nil
+}

@@ -24,12 +24,16 @@ func Batchable(faults []fault.Fault) bool {
 	return true
 }
 
-// Shards replays the trace over the whole fault universe, partitioned
-// into 64-machine batches distributed across workers goroutines
-// (0 = GOMAXPROCS) with an atomic cursor.  detected[i] reports fault
-// faults[i]; every batch writes a disjoint slice segment, so the
-// result is deterministic regardless of the worker count.
-func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, error) {
+// shard partitions faults into 64-machine batches distributed across
+// workers goroutines (0 = GOMAXPROCS) with an atomic cursor.  Each
+// goroutine calls newWorker once for its private replay function (the
+// compiled path hangs a reusable Arena off it) and then replays one
+// batch per cursor claim.  detected[i] reports fault faults[i]; every
+// batch writes a disjoint slice segment, so the result is deterministic
+// regardless of the worker count.  A failing batch raises a shared stop
+// flag so the remaining workers short-circuit instead of completing
+// their batches uselessly.
+func shard(faults []fault.Fault, workers int, newWorker func() func(batch []fault.Fault) (uint64, error)) ([]bool, error) {
 	batches := (len(faults) + BatchSize - 1) / BatchSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -39,15 +43,17 @@ func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, error) {
 	}
 	detected := make([]bool, len(faults))
 	var cursor atomic.Int64
+	var stop atomic.Bool
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			replay := newWorker()
 			for {
 				b := int(cursor.Add(1)) - 1
-				if b >= batches {
+				if b >= batches || stop.Load() {
 					return
 				}
 				lo := b * BatchSize
@@ -55,9 +61,10 @@ func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, error) {
 				if hi > len(faults) {
 					hi = len(faults)
 				}
-				mask, err := ReplayBatch(tr, faults[lo:hi])
+				mask, err := replay(faults[lo:hi])
 				if err != nil {
 					errs[w] = err
+					stop.Store(true)
 					return
 				}
 				for i := lo; i < hi; i++ {
@@ -73,4 +80,28 @@ func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, error) {
 		}
 	}
 	return detected, nil
+}
+
+// Shards replays the trace over the whole fault universe with the
+// per-batch interpreter (ReplayBatch), which rebuilds the machine array
+// for every batch.  It is the PR 1 reference path; ShardsCompiled is
+// the allocation-free fast path.
+func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, error) {
+	return shard(faults, workers, func() func([]fault.Fault) (uint64, error) {
+		return func(batch []fault.Fault) (uint64, error) {
+			return ReplayBatch(tr, batch)
+		}
+	})
+}
+
+// ShardsCompiled replays a compiled program over the whole fault
+// universe.  Each worker owns one reusable Arena, so steady-state
+// batches allocate nothing.
+func ShardsCompiled(p *Program, faults []fault.Fault, workers int) ([]bool, error) {
+	return shard(faults, workers, func() func([]fault.Fault) (uint64, error) {
+		a := NewArena(p)
+		return func(batch []fault.Fault) (uint64, error) {
+			return p.Replay(a, batch)
+		}
+	})
 }

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/ram"
+)
+
+// This file is the trace compiler: Trace.Ops — a per-op tree of kinds,
+// annotations and Linear pointers — is lowered once per campaign into a
+// flat instruction stream the replay kernels execute with no per-op
+// decoding beyond a four-way opcode switch.  Compilation pre-resolves
+// everything the generic replay loop recomputes per batch:
+//
+//   - lane offsets (cell*width) per instruction;
+//   - clean data and expected checked-read values, expanded from Words
+//     into broadcast lane words in one shared pool;
+//   - affine recurrence writes, flattened into (back, dst, mask) terms;
+//   - the trace suffix after the last checked read, which is trimmed:
+//     ops past the final comparison cannot affect detection.
+
+// Instruction opcodes, stored in the top two bits of instr.opAddr.
+const (
+	opRead   uint32 = iota // plain read: sense + hooks + history
+	opCheck                // checked read: opRead + comparison against lanes
+	opWrite                // broadcast write of a literal clean value
+	opAffine               // write recomputed from earlier reads (GF(2)-affine)
+
+	opShift  = 30
+	addrMask = 1<<opShift - 1
+)
+
+// instr is one compiled operation, packed to 16 bytes so large traces
+// stream through cache.  opAddr carries the opcode in its top two bits
+// and the cell index below.  lane indexes the program's lanePool
+// (width words): the expected value for opCheck, the literal data for
+// opWrite, the affine offset for opAffine.  terms[t0:t0+tn] are the
+// affine terms of an opAffine.
+type instr struct {
+	opAddr uint32
+	lane   int32 // offset into lanePool
+	t0, tn int32
+}
+
+// Width-1 instruction packing: the whole operation fits one uint32 —
+// opcode in the top two bits, the single data/expected bit below it,
+// the cell in the low 29 bits — quartering the instruction stream the
+// width-1 kernel pulls through cache.  Affine ops keep their terms in
+// a side table (aff1) consumed in program order.
+const (
+	w1DataShift = 29
+	w1AddrMask  = 1<<w1DataShift - 1
+)
+
+// affEntry is the side-table record of one width-1 affine write.
+type affEntry struct {
+	t0, tn int32
+}
+
+// affTerm is one flattened affine contribution: source-read bits
+// selected by mask, from the read back steps ago, XORed into output
+// row dst.
+type affTerm struct {
+	back int32
+	dst  int32
+	mask uint32
+}
+
+// Program is a compiled trace, shared read-only by all replay workers
+// of a campaign; per-worker mutable state lives in Arena.
+type Program struct {
+	size    int
+	width   int
+	maxBack int
+
+	code     []instr
+	terms    []affTerm
+	lanePool []uint64
+
+	// Width-1 specialization: one packed uint32 per op plus the affine
+	// side table; empty for wider memories.
+	code1 []uint32
+	aff1  []affEntry
+
+	// initLanes is the pre-run memory expanded to broadcast lane words;
+	// arenas restore dirtied cells from it between batches.
+	initLanes []uint64
+
+	trimmed int // trace ops dropped after the last checked read
+	affine  bool
+	// dense marks traces that write most of the array (full-array test
+	// algorithms): per-cell dirty tracking would record nearly every
+	// cell, so arenas skip it and restore wholesale between batches.
+	dense  bool
+	expect []uint8 // checked-read polarity sets, see fault.TraceSummary
+}
+
+// Size returns the number of memory cells.
+func (p *Program) Size() int { return p.size }
+
+// Width returns the cell width in bits.
+func (p *Program) Width() int { return p.width }
+
+// Ops returns the compiled instruction count.
+func (p *Program) Ops() int { return len(p.code) }
+
+// TrimmedOps returns how many trailing trace ops the compiler dropped
+// because no checked read follows them.
+func (p *Program) TrimmedOps() int { return p.trimmed }
+
+// Summary exposes the trace properties structural fault collapsing may
+// condition on.
+func (p *Program) Summary() fault.TraceSummary {
+	return fault.TraceSummary{Width: p.width, Affine: p.affine, Expect: p.expect}
+}
+
+// appendLanes expands w into width broadcast lane words appended to the
+// pool and returns their offset.
+func (p *Program) appendLanes(w ram.Word) int32 {
+	off := int32(len(p.lanePool))
+	for b := 0; b < p.width; b++ {
+		var l uint64
+		if w>>uint(b)&1 == 1 {
+			l = ^uint64(0)
+		}
+		p.lanePool = append(p.lanePool, l)
+	}
+	return off
+}
+
+// Compile lowers a recorded trace into a Program.  It fails on traces
+// replay would also reject: no checked reads, or an affine write
+// referencing a read that never happened.
+func Compile(tr *Trace) (*Program, error) {
+	if !tr.Replayable() {
+		return nil, fmt.Errorf("sim: trace has no checked reads — the runner does not annotate for replay")
+	}
+	last := -1
+	for i := range tr.Ops {
+		if tr.Ops[i].Kind == ram.OpRead && tr.Ops[i].Checked {
+			last = i
+		}
+	}
+	ops := tr.Ops[:last+1]
+
+	p := &Program{
+		size:    tr.Size,
+		width:   tr.Width,
+		maxBack: tr.MaxBack,
+		code:    make([]instr, 0, len(ops)),
+		trimmed: len(tr.Ops) - len(ops),
+		expect:  make([]uint8, tr.Size*tr.Width),
+	}
+	p.initLanes = make([]uint64, tr.Size*tr.Width)
+	for c, w := range tr.Init {
+		for b := 0; b < tr.Width; b++ {
+			if w>>uint(b)&1 == 1 {
+				p.initLanes[c*tr.Width+b] = ^uint64(0)
+			}
+		}
+	}
+
+	limit := addrMask
+	if tr.Width == 1 {
+		limit = w1AddrMask
+	}
+	if tr.Size > limit {
+		return nil, fmt.Errorf("sim: %d cells exceed the compiler's %d-cell address space", tr.Size, limit)
+	}
+	written := make([]bool, tr.Size)
+	distinct := 0
+	reads := 0
+	for i := range ops {
+		op := &ops[i]
+		in := instr{opAddr: uint32(op.Addr)}
+		switch {
+		case op.Kind == ram.OpRead:
+			if op.Checked {
+				in.opAddr |= opCheck << opShift
+				in.lane = p.appendLanes(op.Data)
+				for b := 0; b < tr.Width; b++ {
+					p.expect[op.Addr*tr.Width+b] |= 1 << uint(op.Data>>uint(b)&1)
+				}
+			}
+			reads++
+		case op.Lin == nil:
+			in.opAddr |= opWrite << opShift
+			in.lane = p.appendLanes(op.Data)
+		default:
+			in.opAddr |= opAffine << opShift
+			p.affine = true
+			in.lane = p.appendLanes(op.Lin.Offset)
+			in.t0 = int32(len(p.terms))
+			for j, back := range op.Lin.Back {
+				if back > reads {
+					return nil, fmt.Errorf("sim: linear write references read %d back but only %d reads recorded", back, reads)
+				}
+				for r, m := range op.Lin.Rows[j] {
+					if m != 0 {
+						p.terms = append(p.terms, affTerm{back: int32(back), dst: int32(r), mask: m})
+					}
+				}
+			}
+			in.tn = int32(len(p.terms)) - in.t0
+		}
+		if op.Kind == ram.OpWrite && !written[op.Addr] {
+			written[op.Addr] = true
+			distinct++
+		}
+		p.code = append(p.code, in)
+	}
+	p.dense = 2*distinct >= tr.Size
+	if tr.Width == 1 {
+		p.pack1(ops)
+	}
+	return p, nil
+}
+
+// pack1 builds the width-1 instruction stream: the data/expected bit
+// rides in the instruction word, affine term windows in a side table.
+func (p *Program) pack1(ops []Op) {
+	p.code1 = make([]uint32, 0, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		oa := uint32(op.Addr)
+		switch {
+		case op.Kind == ram.OpRead:
+			if op.Checked {
+				oa |= opCheck << opShift
+				oa |= uint32(op.Data&1) << w1DataShift
+			}
+		case op.Lin == nil:
+			oa |= opWrite << opShift
+			oa |= uint32(op.Data&1) << w1DataShift
+		default:
+			oa |= opAffine << opShift
+			oa |= uint32(op.Lin.Offset&1) << w1DataShift
+			// The matching instr was just compiled by Compile; reuse
+			// its term window.
+			in := &p.code[i]
+			p.aff1 = append(p.aff1, affEntry{t0: in.t0, tn: in.tn})
+		}
+		p.code1 = append(p.code1, oa)
+	}
+}

@@ -31,9 +31,39 @@
 //     atomic cursor; per-fault detection lands in disjoint slices, so
 //     results are deterministic regardless of worker count.
 //
+// On top of the per-batch interpreter sits the compiled pipeline, the
+// production fast path:
+//
+//   - Compile lowers the trace once per campaign into a flat
+//     instruction stream with pre-resolved lane offsets, broadcast-
+//     expanded clean values, flattened affine terms, and the suffix
+//     after the last checked read trimmed (nothing past the final
+//     comparison can affect detection).  Width-1 traces additionally
+//     pack each op into a single uint32.
+//
+//   - Arena is a worker's reusable machine-array state: lane buffer,
+//     hook tables (with a one-byte per-cell flag map the kernels test
+//     instead of slice headers), history ring, scratch, and a
+//     fault.Pool recycling hook objects.  Between batches it restores
+//     only the cells the previous batch dirtied (or wholesale for
+//     dense traces), so steady-state batches allocate nothing.
+//
+//   - Replay dispatches to a width-1 kernel (no per-bit inner loops;
+//     the regime of the paper's Fig. 1a bit-oriented memories and the
+//     largest campaigns) or the generic word-oriented kernel.
+//
+//   - ShardsCompiled drives the batches with one arena per worker and
+//     a shared stop flag so a failing batch short-circuits the rest.
+//
+// Campaigns can additionally collapse the universe into exact
+// equivalence classes (fault.Collapse, fed by Program.Summary) and
+// simulate one representative per class; package coverage expands the
+// results back so every experiment table is unchanged.
+//
 // The engine is exact, not approximate: package coverage cross-checks
-// it against the per-fault oracle path, and the equivalence property
-// tests assert identical per-class results over full fault universes.
-// Runners opt in via coverage.ReplaySafe; anything else (adaptive
-// stimuli, signature compression with aliasing) stays on the oracle.
+// all of it against the per-fault oracle path, and the equivalence
+// property tests assert identical per-class results over full fault
+// universes, for both kernels, with collapsing on and off.  Runners
+// opt in via coverage.ReplaySafe; anything else (adaptive stimuli,
+// signature compression with aliasing) stays on the oracle.
 package sim

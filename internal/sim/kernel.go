@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/fault"
+)
+
+// Replay simulates up to 64 faults against the compiled program using
+// the arena's reusable buffers and returns the detection mask (bit l
+// set when machine l detected), exactly as ReplayBatch does for the
+// uncompiled trace.  Steady-state calls allocate nothing: the arena
+// restores only the cells the previous batch dirtied and recycles its
+// hook objects through the fault pool.
+func (p *Program) Replay(a *Arena, faults []fault.Fault) (uint64, error) {
+	if len(faults) == 0 {
+		return 0, nil
+	}
+	if a.p != p {
+		return 0, fmt.Errorf("sim: arena belongs to a different program")
+	}
+	a.reset()
+	if err := a.inject(faults); err != nil {
+		return 0, err
+	}
+	full := ^uint64(0)
+	if len(faults) < BatchSize {
+		full = uint64(1)<<uint(len(faults)) - 1
+	}
+	if p.width == 1 {
+		return p.run1(a, full), nil
+	}
+	return p.runN(a, full), nil
+}
+
+// Kernel structure, shared by both widths: the operation clock lives in
+// a register and is flushed to the arena only around hook invocations
+// (the only readers, via fault.LaneMemory.Clock); cells without hooks
+// take branch-free sense/store paths guarded by the one-byte flag
+// table; the read-history ring is addressed by a wrapping cursor
+// instead of a modulo.  The pass returns as soon as every machine of
+// the batch has detected.
+
+// run1 is the width-1 kernel for bit-oriented memories: one lane word
+// per cell, no per-bit inner loops anywhere on the hot path, and the
+// whole instruction — opcode, data bit, cell — in a single uint32, so
+// even 1M-cell traces stream 4 bytes per op.
+func (p *Program) run1(a *Arena, full uint64) uint64 {
+	var detected uint64
+	slots, hpos, affPos := p.maxBack, 0, 0
+	lanes, hist, flags := a.lanes, a.hist, a.flags
+	hasEvery := len(a.everyRead) != 0
+	track := !p.dense // dense traces restore wholesale, skip marking
+	clock := a.clock
+	for _, oa := range p.code1 {
+		cell := int(oa & w1AddrMask)
+		op := oa >> opShift
+		clock++
+		if op <= opCheck {
+			v := lanes[cell]
+			if flags[cell]&flagRead != 0 || hasEvery {
+				a.clock = clock
+				a.val[0] = v
+				for _, h := range a.readHooks[cell] {
+					h.OnRead(a, cell, a.val)
+				}
+				for _, h := range a.everyRead {
+					h.OnRead(a, cell, a.val)
+				}
+				v = a.val[0]
+			}
+			if slots > 0 {
+				hist[hpos] = v
+				if hpos++; hpos == slots {
+					hpos = 0
+				}
+			}
+			if op == opCheck {
+				clean := uint64(0) - uint64(oa>>w1DataShift&1) // broadcast the expected bit
+				detected |= (v ^ clean) & full
+				if detected == full {
+					break // every machine has detected
+				}
+			}
+			continue
+		}
+		d := uint64(0) - uint64(oa>>w1DataShift&1)
+		if op == opAffine {
+			e := &p.aff1[affPos]
+			affPos++
+			for _, t := range p.terms[e.t0 : e.t0+e.tn] {
+				if t.mask&1 != 0 {
+					s := hpos - int(t.back)
+					if s < 0 {
+						s += slots
+					}
+					d ^= hist[s]
+				}
+			}
+		}
+		if flags[cell]&flagWrite != 0 {
+			a.clock = clock
+			a.data[0] = d
+			hooks := a.writeHooks[cell]
+			for _, h := range hooks {
+				h.PreWrite(a, cell, a.data)
+			}
+			a.markDirty(cell)
+			lanes[cell] = a.data[0]
+			for _, h := range hooks {
+				h.PostWrite(a, cell, a.data)
+			}
+		} else {
+			if track {
+				a.markDirty(cell)
+			}
+			lanes[cell] = d
+		}
+	}
+	a.clock = clock
+	return detected
+}
+
+// runN is the generic kernel for word-oriented memories (width >= 2).
+func (p *Program) runN(a *Arena, full uint64) uint64 {
+	w := p.width
+	var detected uint64
+	slots, hpos := p.maxBack, 0
+	flags := a.flags
+	hasEvery := len(a.everyRead) != 0
+	track := !p.dense // dense traces restore wholesale, skip marking
+	clock := a.clock
+	for i := range p.code {
+		in := &p.code[i]
+		cell := int(in.opAddr & addrMask)
+		op := in.opAddr >> opShift
+		base := cell * w
+		clock++
+		if op <= opCheck {
+			val := a.val
+			copy(val, a.lanes[base:base+w])
+			if flags[cell]&flagRead != 0 || hasEvery {
+				a.clock = clock
+				for _, h := range a.readHooks[cell] {
+					h.OnRead(a, cell, val)
+				}
+				for _, h := range a.everyRead {
+					h.OnRead(a, cell, val)
+				}
+			}
+			if slots > 0 {
+				copy(a.hist[hpos*w:hpos*w+w], val)
+				if hpos++; hpos == slots {
+					hpos = 0
+				}
+			}
+			if op == opCheck {
+				clean := p.lanePool[in.lane : int(in.lane)+w]
+				var diff uint64
+				for b := 0; b < w; b++ {
+					diff |= val[b] ^ clean[b]
+				}
+				detected |= diff & full
+				if detected == full {
+					break // every machine has detected
+				}
+			}
+			continue
+		}
+		data := a.data
+		copy(data, p.lanePool[in.lane:int(in.lane)+w])
+		if op == opAffine {
+			for _, t := range p.terms[in.t0 : in.t0+in.tn] {
+				s := hpos - int(t.back)
+				if s < 0 {
+					s += slots
+				}
+				src := a.hist[s*w:]
+				for rm := t.mask; rm != 0; rm &= rm - 1 {
+					data[t.dst] ^= src[bits.TrailingZeros32(rm)]
+				}
+			}
+		}
+		if flags[cell]&flagWrite != 0 {
+			a.clock = clock
+			hooks := a.writeHooks[cell]
+			for _, h := range hooks {
+				h.PreWrite(a, cell, data)
+			}
+			a.markDirty(cell)
+			copy(a.lanes[base:base+w], data)
+			for _, h := range hooks {
+				h.PostWrite(a, cell, data)
+			}
+		} else {
+			if track {
+				a.markDirty(cell)
+			}
+			copy(a.lanes[base:base+w], data)
+		}
+	}
+	a.clock = clock
+	return detected
+}

@@ -13,6 +13,12 @@ import (
 // machine l (fault faults[l]) produced at least one checked read
 // diverging from the recorded fault-free value.  The pass stops early
 // once every machine of the batch has detected.
+//
+// This is the per-batch interpreter: it decodes Trace.Ops as recorded
+// and rebuilds the machine array per call.  The compiled pipeline
+// (Compile + Arena + Program.Replay) is the allocation-free fast path;
+// the kernels are property-tested batch-for-batch against this
+// function, which stays as the readable reference.
 func ReplayBatch(tr *Trace, faults []fault.Fault) (uint64, error) {
 	if len(faults) == 0 {
 		return 0, nil
