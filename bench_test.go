@@ -354,3 +354,40 @@ func BenchmarkTableMISRCompression(b *testing.B) {
 		_ = ExperimentMISR(24)
 	}
 }
+
+// --- E16: scaled — BIST signature aliasing ---
+
+func BenchmarkTableMISRAliasing(b *testing.B) {
+	printTable("e16", func() *report.Table {
+		return ExperimentMISRAliasing([]int{64, 256}, []int{1, 2, 4, 8, 16})
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentMISRAliasing([]int{32}, []int{4})
+	}
+}
+
+// BenchmarkCampaignObserver measures the signature-observer replay
+// path: the E16 BIST workload (π-walk + read-back compressed into a
+// 4-bit SISR, detection purely by signature compare) over a
+// bit-oriented SAF+CF universe, per engine.  The compiled engine folds
+// the 64-machine accumulator difference once per word op, so the
+// observer costs O(w) XORs on top of the width-1 kernel.
+func BenchmarkCampaignObserver(b *testing.B) {
+	const n = 1024
+	u := fault.Universe{Name: "saf+cf", Faults: append(
+		fault.SingleCellUniverse(n, 1),
+		fault.CouplingUniverse(fault.SamplePairs(n, 1, 512, 3))...)}
+	mk := func() ram.Memory { return ram.NewBOM(n) }
+	r := sisrRunner{w: 4}
+	for _, engine := range []coverage.Engine{coverage.EngineOracle, coverage.EngineBitParallel, coverage.EngineCompiled} {
+		b.Run(fmt.Sprintf("n=%d/%s", n, engine), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := coverage.CampaignEngine(r, u, mk, 0, engine)
+				sink = uint64(res.Detected)
+			}
+			b.ReportMetric(float64(u.Len())*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+		})
+	}
+}

@@ -44,8 +44,13 @@ func parseLine(line string) (Entry, bool) {
 		return Entry{}, false
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
-	// Strip the trailing -GOMAXPROCS suffix of the first path segment.
-	if i := strings.LastIndexByte(name, '-'); i > 0 {
+	// Strip the trailing -GOMAXPROCS suffix go test appends to the
+	// LAST path segment (and only there): the dash must sit inside the
+	// last segment, after its first character, with nothing but digits
+	// behind it.  A -<digits> tail in an earlier segment, or a segment
+	// that is nothing but -<digits>, is part of the benchmark's own
+	// name and survives.
+	if i := strings.LastIndexByte(name, '-'); i > strings.LastIndexByte(name, '/')+1 {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
 		}
@@ -72,6 +77,13 @@ func main() {
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		// An empty array is never a useful perf artifact — it means the
+		// bench regex matched nothing (typically a benchmark rename).
+		// Fail loudly so CI archives a real trajectory or nothing.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin (renamed benchmark? wrong -bench regex?)")
 		os.Exit(1)
 	}
 	out, err := json.MarshalIndent(entries, "", "  ")

@@ -1,0 +1,74 @@
+package main
+
+import "testing"
+
+func TestParseLineBenchResult(t *testing.T) {
+	e, ok := parseLine("BenchmarkCampaign/n=1024/oracle-8  1  123456 ns/op  9.5e+04 faults/s  160 B/op  3 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if e.Name != "Campaign/n=1024/oracle" {
+		t.Errorf("name = %q, want Campaign/n=1024/oracle", e.Name)
+	}
+	if e.Iterations != 1 {
+		t.Errorf("iterations = %d", e.Iterations)
+	}
+	if e.Metrics["ns/op"] != 123456 {
+		t.Errorf("ns/op = %v", e.Metrics["ns/op"])
+	}
+	if e.Metrics["faults/s"] != 9.5e4 {
+		t.Errorf("faults/s = %v, scientific notation mis-parsed", e.Metrics["faults/s"])
+	}
+	if e.Metrics["allocs/op"] != 3 {
+		t.Errorf("allocs/op = %v", e.Metrics["allocs/op"])
+	}
+}
+
+func TestParseLineSuffixStripping(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		// The plain GOMAXPROCS suffix goes.
+		{"BenchmarkCampaign-8  10  5 ns/op", "Campaign"},
+		// A sub-benchmark whose last segment legitimately ends in
+		// -<digits> keeps it once the GOMAXPROCS suffix is stripped.
+		{"BenchmarkObserver/w-2-8  10  5 ns/op", "Observer/w-2"},
+		// A -<digits> tail in an earlier segment is part of the name.
+		{"BenchmarkFoo-4/bar  10  5 ns/op", "Foo-4/bar"},
+		// A last segment that is nothing but -<digits> is a name, not a
+		// GOMAXPROCS suffix (go test never emits a bare dash segment).
+		{"BenchmarkFoo/-8  10  5 ns/op", "Foo/-8"},
+		// Non-numeric tails survive.
+		{"BenchmarkFoo/bar-x  10  5 ns/op", "Foo/bar-x"},
+		// Scientific notation in the iteration position is rejected,
+		// not mis-parsed.
+	}
+	for _, tc := range cases {
+		e, ok := parseLine(tc.in)
+		if !ok {
+			t.Errorf("%q: not parsed", tc.in)
+			continue
+		}
+		if e.Name != tc.want {
+			t.Errorf("%q: name = %q, want %q", tc.in, e.Name, tc.want)
+		}
+	}
+}
+
+func TestParseLineRejectsNonBenchLines(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"PASS",
+		"ok  \trepro\t1.234s",
+		"goos: linux",
+		"## E15 (ablation) — exact verify vs MISR-compressed verify",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"BenchmarkNoMetrics 10",
+		"BenchmarkOddFields 10 5", // metric value without a unit
+	} {
+		if _, ok := parseLine(in); ok {
+			t.Errorf("%q: unexpectedly parsed", in)
+		}
+	}
+}

@@ -5,19 +5,25 @@
 // Usage:
 //
 //	faultcov                 # all experiments (compiled engine)
-//	faultcov -exp e6         # one experiment (fig1a,fig1b,fig2,e4..e11)
+//	faultcov -exp e6         # one experiment; -exp '?' lists the ids
 //	faultcov -csv            # CSV output
 //	faultcov -engine oracle  # per-fault reference engine
 //	faultcov -workers 4      # fixed campaign worker count
 //	faultcov -collapse=false # simulate the full universe, uncollapsed
+//
+// The experiment catalogue is defined once in this file (the order
+// slice below) and the -exp help text is generated from it, so the two
+// cannot drift apart as experiments are added.
 //
 // The -engine flag selects the campaign execution strategy: "compiled"
 // (default) lowers the recorded test trace into a flat instruction
 // program replayed allocation-free over per-worker arenas with
 // structural fault collapsing; "bitpar" is the per-batch trace
 // interpreter; "oracle" re-runs the full algorithm once per injected
-// fault.  All three produce identical tables; the oracle is the
-// reference the replay engines are property-tested against.
+// fault.  All three produce identical tables — including the
+// signature-compressed (MISR/BIST) rows, whose aliasing the compiled
+// engine's observers replay exactly; the oracle is the reference the
+// replay engines are property-tested against.
 package main
 
 import (
@@ -32,8 +38,47 @@ import (
 	"repro/internal/report"
 )
 
+// experiments is the catalogue, in presentation order.  The -exp flag
+// help and the unknown-id error are both generated from it.
+type experiment struct {
+	id    string
+	build func() *report.Table
+}
+
+func catalogue() []experiment {
+	return []experiment{
+		{"fig1a", func() *report.Table { return repro.ExperimentFig1a(16) }},
+		{"fig1b", func() *report.Table { return repro.ExperimentFig1b(257) }},
+		{"fig2", func() *report.Table { return repro.ExperimentFig2([]int{64, 256, 1024}) }},
+		{"e4", func() *report.Table { return repro.ExperimentSingleCell(48) }},
+		{"e5", func() *report.Table { return repro.ExperimentCoupling(48) }},
+		{"e6", func() *report.Table { return repro.ExperimentPRTvsMarch(48, 4) }},
+		{"e7", repro.ExperimentBISTOverhead},
+		{"e8", repro.ExperimentMarkov},
+		{"e9", func() *report.Table { return repro.ExperimentIntraWord(32, 4) }},
+		{"e10", func() *report.Table { return repro.ExperimentQualityFactors(48) }},
+		{"e11", repro.ExperimentMultiplierSynthesis},
+		{"e12", func() *report.Table { return repro.ExperimentNPSF(64, 8) }},
+		{"e13", func() *report.Table { return repro.ExperimentRetention(48) }},
+		{"e14", func() *report.Table { return repro.ExperimentRingMode([]int{64, 255, 257}) }},
+		{"e15", func() *report.Table { return repro.ExperimentMISR(64) }},
+		{"e16", func() *report.Table {
+			return repro.ExperimentMISRAliasing([]int{64, 256}, []int{1, 2, 4, 8, 16})
+		}},
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1a, fig1b, fig2, e4…e11 or all")
+	exps := catalogue()
+	order := make([]string, len(exps))
+	byID := make(map[string]func() *report.Table, len(exps))
+	for i, e := range exps {
+		order[i] = e.id
+		byID[e.id] = e.build
+	}
+	ids := strings.Join(order, ", ")
+
+	exp := flag.String("exp", "all", fmt.Sprintf("experiment id: %s or all", ids))
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	engine := flag.String("engine", "compiled", "campaign engine: compiled (arena replay), bitpar (per-batch interpreter) or oracle (one run per fault)")
 	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
@@ -57,25 +102,6 @@ func main() {
 		fmt.Printf("# engine=%s workers=%d collapse=%v\n\n", eng, effWorkers, *collapse)
 	}
 
-	byID := map[string]func() *report.Table{
-		"fig1a": func() *report.Table { return repro.ExperimentFig1a(16) },
-		"fig1b": func() *report.Table { return repro.ExperimentFig1b(257) },
-		"fig2":  func() *report.Table { return repro.ExperimentFig2([]int{64, 256, 1024}) },
-		"e4":    func() *report.Table { return repro.ExperimentSingleCell(48) },
-		"e5":    func() *report.Table { return repro.ExperimentCoupling(48) },
-		"e6":    func() *report.Table { return repro.ExperimentPRTvsMarch(48, 4) },
-		"e7":    repro.ExperimentBISTOverhead,
-		"e8":    repro.ExperimentMarkov,
-		"e9":    func() *report.Table { return repro.ExperimentIntraWord(32, 4) },
-		"e10":   func() *report.Table { return repro.ExperimentQualityFactors(48) },
-		"e11":   repro.ExperimentMultiplierSynthesis,
-		"e12":   func() *report.Table { return repro.ExperimentNPSF(64, 8) },
-		"e13":   func() *report.Table { return repro.ExperimentRetention(48) },
-		"e14":   func() *report.Table { return repro.ExperimentRingMode([]int{64, 255, 257}) },
-		"e15":   func() *report.Table { return repro.ExperimentMISR(64) },
-	}
-	order := []string{"fig1a", "fig1b", "fig2", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
-
 	id := strings.ToLower(*exp)
 	var tables []*report.Table
 	if id == "all" {
@@ -85,8 +111,7 @@ func main() {
 	} else {
 		f, ok := byID[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "faultcov: unknown experiment %q (choose from %s)\n",
-				*exp, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "faultcov: unknown experiment %q (choose from %s)\n", *exp, ids)
 			os.Exit(2)
 		}
 		tables = append(tables, f())

@@ -478,7 +478,9 @@ func ExperimentRingMode(sizes []int) *report.Table {
 // one m-bit register instead of n comparisons; the measured coverage
 // difference quantifies the aliasing the markov model predicts
 // (≈2^-m for random multi-error patterns; single-cell faults never
-// produce a lone-error alias, so the gap is small).
+// produce a lone-error alias, so the gap is small).  Both compressed
+// rows run on the compiled replay engine: their signature comparisons
+// are recorded as observer annotations, so aliasing replays exactly.
 func ExperimentMISR(n int) *report.Table {
 	t := report.New(
 		fmt.Sprintf("E15 (ablation) — exact verify vs MISR-compressed verify, WOM m=4 n=%d", n),
@@ -491,6 +493,9 @@ func ExperimentMISR(n int) *report.Table {
 
 	misr := coverage.Campaign(misrCompressedRunner{n: n}, u, mk, 0)
 	t.AddRowf("MISR-compressed", report.Percent(misr.Detected, misr.Total))
+
+	ctl := coverage.Campaign(coverage.BISTRunner(prt.PaperWOMScheme3(), 0), u, mk, 0)
+	t.AddRowf("BIST controller (compressed)", report.Percent(ctl.Detected, ctl.Total))
 	return t
 }
 
@@ -500,6 +505,13 @@ func ExperimentMISR(n int) *report.Table {
 type misrCompressedRunner struct{ n int }
 
 func (misrCompressedRunner) Name() string { return "PRT-3/misr" }
+
+// ReplaySafe implements coverage.ReplaySafe: the scheme's stimuli are
+// annotated affine recurrences, its Fin checks are checked reads, and
+// the MISR read-back is annotated as a signature observer, so the
+// replay engines reproduce the compressed detection — aliasing
+// included — exactly.
+func (misrCompressedRunner) ReplaySafe() {}
 
 func (r misrCompressedRunner) Run(mem ram.Memory) (bool, uint64) {
 	gen := prt.PaperWOMConfig().Gen
@@ -516,21 +528,178 @@ func (r misrCompressedRunner) Run(mem ram.Memory) (bool, uint64) {
 	// expected contents equal iteration 1's TDB by construction.
 	cfg := s.Iters[0]
 	want := prt.ExpectedSequence(cfg, mem.Size())
-	observed := make([]gf.Elem, mem.Size())
-	for a := 0; a < mem.Size(); a++ {
-		observed[a] = gf.Elem(mem.Read(a))
-		ops++
+	sig, err := bist.NewMISR(f, 0)
+	if err != nil {
+		panic(err)
 	}
+	step, tap := sig.FoldMatrices()
+	const obs = 0
+	for a := 0; a < mem.Size(); a++ {
+		v := gf.Elem(mem.Read(a))
+		ram.AnnotateFold(mem, obs, step, tap)
+		ops++
+		sig.Feed(v)
+	}
+	ram.AnnotateObserved(mem, obs)
 	sigWant, err := bist.Predict(f, 0, want)
 	if err != nil {
 		panic(err)
 	}
-	sigGot, err := bist.Predict(f, 0, observed)
-	if err != nil {
-		panic(err)
-	}
-	if sigGot != sigWant {
+	if sig.Signature() != sigWant {
 		detected = true
+	}
+	return detected, ops
+}
+
+// ExperimentMISRAliasing is scaled experiment E16: observed signature
+// aliasing versus the markov model's 2^-w prediction, sweeping memory
+// size × signature width.  A bit-oriented π-test walk (the paper's
+// g = 1+x+x² automaton) plus a full read-back produce one fixed read
+// stream per fault; the stream is observed two ways with identical
+// excitation: an exact per-read comparator (the detection upper
+// bound), and the §4 BIST observer — a w-bit serial signature register
+// over GF(2^w) compressing every read, compared once against the
+// model's prediction.  Errors that propagate through the walking
+// automaton contribute many corrupted reads, so multi-error patterns
+// are common, and the fraction of exact-detected faults the register
+// misses is the observed aliasing, which the markov model puts at 2^-w
+// for a random surviving error (single-read errors never alias, which
+// is why the observed rate sits below the bound).  Every campaign here
+// rides the compiled observer replay.
+func ExperimentMISRAliasing(sizes, widths []int) *report.Table {
+	t := report.New("E16 (scaled) — BIST signature aliasing: observed escape rate vs the 2^-w model",
+		"n", "w", "exact", "sisr", "detected(exact)", "escaped", "observed", "2^-w")
+	for _, n := range sizes {
+		pairs := fault.AdjacentPairs(n)
+		pairs = append(pairs, fault.SamplePairs(n, 1, 48, 5)...)
+		u := fault.Universe{Name: "coupling", Faults: fault.CouplingUniverse(pairs)}
+		mk := func() ram.Memory { return ram.NewBOM(n) }
+		exact := coverage.Campaign(sisrRunner{exact: true}, u, mk, 0)
+		for _, w := range widths {
+			sisr := coverage.Campaign(sisrRunner{w: w}, u, mk, 0)
+			escaped := exact.Detected - sisr.Detected
+			observed := 0.0
+			if exact.Detected > 0 {
+				observed = float64(escaped) / float64(exact.Detected)
+			}
+			model := markov.PRTModel{M: w, K: 1, PExcite: 1}
+			t.AddRowf(fmt.Sprintf("%d", n), fmt.Sprintf("%d", w),
+				report.Percent(exact.Detected, exact.Total),
+				report.Percent(sisr.Detected, sisr.Total),
+				fmt.Sprintf("%d", exact.Detected),
+				fmt.Sprintf("%d", escaped),
+				fmt.Sprintf("%.4f", observed),
+				fmt.Sprintf("%.4f", model.AliasProbability()))
+		}
+	}
+	return t
+}
+
+// sisrRunner is the E16 workload: one bit-oriented π-walk (seed,
+// recurrence writes reading their operands back from the memory, then
+// a full read-back), with every read observed either exactly or
+// through a w-bit serial signature register.  Both modes execute the
+// identical operation schedule, so they excite faults identically and
+// differ only in the observer.  It is replay-safe: recurrence writes
+// are annotated affine maps, exact reads are checked reads, and the
+// compressed stream is a signature observer with one compare point.
+type sisrRunner struct {
+	exact bool
+	w     int // signature width (compressed mode)
+}
+
+func (r sisrRunner) Name() string {
+	if r.exact {
+		return "π-walk/exact"
+	}
+	return fmt.Sprintf("π-walk/sisr-w%d", r.w)
+}
+
+// ReplaySafe implements coverage.ReplaySafe.
+func (sisrRunner) ReplaySafe() {}
+
+func (r sisrRunner) Run(mem ram.Memory) (bool, uint64) {
+	cfg := prt.PaperBOMConfig()
+	f := cfg.Gen.Field
+	taps := cfg.Gen.Taps()
+	k := cfg.Gen.K()
+	n := mem.Size()
+	// Ascending trajectory: address == trajectory position, so the
+	// clean TDB indexed by address is the automaton sequence itself.
+	want := prt.ExpectedSequence(cfg, n)
+
+	var detected bool
+	var ops uint64
+	var sig, pred *bist.MISR
+	var step, tap []uint32
+	const obs = 0
+	if !r.exact {
+		fw := gf.NewField(r.w)
+		var err error
+		if sig, err = bist.NewMISR(fw, 0); err != nil {
+			panic(err)
+		}
+		if pred, err = bist.NewMISR(fw, 0); err != nil {
+			panic(err)
+		}
+		step, _ = sig.FoldMatrices()
+		tap = make([]uint32, r.w)
+		tap[0] = 1 // the single read bit feeds accumulator bit 0
+	}
+	observe := func(v, wantV gf.Elem) {
+		if r.exact {
+			ram.AnnotateChecked(mem)
+			if v != wantV {
+				detected = true
+			}
+			return
+		}
+		ram.AnnotateFold(mem, obs, step, tap)
+		sig.Feed(v & 1)
+		pred.Feed(wantV & 1)
+	}
+
+	// Replay annotation of the recurrence writes: read order is
+	// c_{i-1} then c_{i-2}, so tap a_j applies to the read k-j+1 back.
+	var linBack []int
+	var linRows [][]uint32
+	if _, tracing := mem.(ram.TraceAnnotator); tracing {
+		linBack = make([]int, k)
+		linRows = make([][]uint32, k)
+		for j := 1; j <= k; j++ {
+			linBack[j-1] = k - j + 1
+			linRows[j-1] = f.ConstMulMatrix(taps[j-1]).Rows
+		}
+	}
+
+	for i := 0; i < k; i++ {
+		mem.Write(i, ram.Word(cfg.Seed[i]))
+		ops++
+	}
+	for i := k; i < n; i++ {
+		next := cfg.Offset
+		for j := 1; j <= k; j++ {
+			v := gf.Elem(mem.Read(i - j))
+			ops++
+			observe(v, want[i-j])
+			next = f.Add(next, f.Mul(taps[j-1], v))
+		}
+		mem.Write(i, ram.Word(next))
+		if linBack != nil {
+			ram.AnnotateLinear(mem, linBack, linRows, ram.Word(cfg.Offset))
+		}
+		ops++
+	}
+	for a := 0; a < n; a++ {
+		v := gf.Elem(mem.Read(a))
+		ops++
+		observe(v, want[a])
+	}
+	if !r.exact {
+		ram.AnnotateObserved(mem, obs)
+		if sig.Signature() != pred.Signature() {
+			detected = true
+		}
 	}
 	return detected, ops
 }
@@ -555,5 +724,6 @@ func AllExperiments() []*report.Table {
 		ExperimentRetention(48),
 		ExperimentRingMode([]int{64, 255, 257}),
 		ExperimentMISR(64),
+		ExperimentMISRAliasing([]int{64, 256}, []int{1, 2, 4, 8, 16}),
 	}
 }

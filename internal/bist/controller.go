@@ -66,6 +66,21 @@ type Controller struct {
 	finStar []gf.Elem
 	finPos  int
 
+	// Signature compression (NewCompressedController): every read
+	// folds into misr, and StateCompare tests the signature against
+	// sigStar instead of comparing the final window per word.  The
+	// fold matrices and observer id annotate replay traces.
+	misr     *MISR
+	sigStar  gf.Elem
+	obs      int
+	stepRows []uint32
+	tapRows  []uint32
+
+	// Replay annotation of the recurrence write as a GF(2)-affine map
+	// of the k operand reads, built only when mem records a trace.
+	linBack []int
+	linRows [][]uint32
+
 	// Cycles counts Step calls since reset.
 	Cycles uint64
 }
@@ -93,7 +108,84 @@ func NewController(cfg prt.Config, mem ram.Memory) (*Controller, error) {
 		fin:     make([]gf.Elem, 0, cfg.Gen.K()),
 		finStar: finStar,
 	}
+	if _, tracing := mem.(ram.TraceAnnotator); tracing {
+		// Operand j (read order: most recent trajectory cell first) is
+		// the (k-j)-th most recent read when the write executes.
+		taps := cfg.Gen.Taps()
+		c.linBack = make([]int, c.k)
+		c.linRows = make([][]uint32, c.k)
+		for j := 0; j < c.k; j++ {
+			c.linBack[j] = c.k - j
+			c.linRows[j] = cfg.Gen.Field.ConstMulMatrix(taps[j]).Rows
+		}
+	}
 	return c, nil
+}
+
+// NewCompressedController builds a controller whose observer is a MISR
+// compressing every read — the k recurrence operands of each step and
+// the final window — into one m-bit signature, compared in
+// StateCompare against the prediction computed on the virtual
+// automaton model.  This is the §4 BIST observer with its real ≈2^-m
+// aliasing: a multi-read error pattern that cancels in the register
+// passes.  alpha is the MISR multiplier (0 selects the field
+// generator); obs identifies the signature observer in a recorded
+// replay trace and must be unique per iteration of a scheme.
+func NewCompressedController(cfg prt.Config, mem ram.Memory, alpha gf.Elem, obs int) (*Controller, error) {
+	c, err := NewController(cfg, mem)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewMISR(cfg.Gen.Field, alpha)
+	if err != nil {
+		return nil, err
+	}
+	c.misr = m
+	c.obs = obs
+	c.stepRows, c.tapRows = m.FoldMatrices()
+	// Predict the clean signature from the model alone: every read the
+	// FSM performs targets a cell written earlier in this iteration, so
+	// its fault-free value is the TDB sequence element of that
+	// trajectory position.
+	pred, err := NewMISR(cfg.Gen.Field, alpha)
+	if err != nil {
+		return nil, err
+	}
+	n := mem.Size()
+	seq := prt.ExpectedSequence(cfg, n)
+	for pos := c.k; pos < n; pos++ {
+		for operand := 0; operand < c.k; operand++ {
+			pred.Feed(seq[pos-1-operand]) // most recent operand first
+		}
+	}
+	for i := 0; i < c.k; i++ {
+		pred.Feed(seq[n-c.k+i])
+	}
+	c.sigStar = pred.Signature()
+	return c, nil
+}
+
+// Compressed reports whether the controller compares a MISR signature
+// instead of the per-word final window.
+func (c *Controller) Compressed() bool { return c.misr != nil }
+
+// Signature returns the accumulated MISR signature (compressed mode).
+func (c *Controller) Signature() gf.Elem {
+	if c.misr == nil {
+		return 0
+	}
+	return c.misr.Signature()
+}
+
+// PredictedSignature returns the model-computed clean signature the
+// compare step tests against (compressed mode).
+func (c *Controller) PredictedSignature() gf.Elem { return c.sigStar }
+
+// fold feeds one read value into the signature register and annotates
+// a replay trace, when recording, with the equivalent GF(2) fold.
+func (c *Controller) fold(v gf.Elem) {
+	c.misr.Feed(v)
+	ram.AnnotateFold(c.mem, c.obs, c.stepRows, c.tapRows)
 }
 
 // State returns the current FSM state.
@@ -127,6 +219,9 @@ func (c *Controller) Step() {
 	case StateReadOps:
 		// Read operand c_{pos-1-operand} (most recent first).
 		v := gf.Elem(c.mem.Read(c.addr[c.pos-1-c.operand]))
+		if c.misr != nil {
+			c.fold(v)
+		}
 		c.acc = f.Add(c.acc, f.Mul(taps[c.operand], v))
 		c.operand++
 		if c.operand == c.k {
@@ -134,6 +229,9 @@ func (c *Controller) Step() {
 		}
 	case StateWrite:
 		c.mem.Write(c.addr[c.pos], ram.Word(c.acc))
+		if c.linBack != nil {
+			ram.AnnotateLinear(c.mem, c.linBack, c.linRows, ram.Word(c.cfg.Offset))
+		}
 		c.pos++
 		if c.pos == n {
 			c.state = StateFinRead
@@ -144,12 +242,29 @@ func (c *Controller) Step() {
 			c.acc = c.cfg.Offset
 		}
 	case StateFinRead:
-		c.fin = append(c.fin, gf.Elem(c.mem.Read(c.addr[n-c.k+c.finPos])))
+		v := gf.Elem(c.mem.Read(c.addr[n-c.k+c.finPos]))
+		if c.misr != nil {
+			c.fold(v)
+		} else {
+			// The plain FSM compares each Fin word against the model,
+			// so the read is a checked read in replay terms.
+			ram.AnnotateChecked(c.mem)
+		}
+		c.fin = append(c.fin, v)
 		c.finPos++
 		if c.finPos == c.k {
 			c.state = StateCompare
 		}
 	case StateCompare:
+		if c.misr != nil {
+			ram.AnnotateObserved(c.mem, c.obs)
+			if c.misr.Signature() != c.sigStar {
+				c.state = StateFail
+				return
+			}
+			c.state = StateDone
+			return
+		}
 		for i := range c.fin {
 			if c.fin[i] != c.finStar[i] {
 				c.state = StateFail
@@ -178,6 +293,25 @@ func (c *Controller) Fin() []gf.Elem { return append([]gf.Elem(nil), c.fin...) }
 // verify/capture options are stripped (the FSM models the signature
 // engine the Budget prices).
 func RunAll(s prt.Scheme, mem ram.Memory) (pass bool, cycles uint64, err error) {
+	return runAll(s, mem, func(cfg prt.Config, _ int) (*Controller, error) {
+		return NewController(cfg, mem)
+	})
+}
+
+// RunAllCompressed is RunAll with MISR signature compression: each
+// iteration runs a compressed controller (observer id = iteration
+// index), so detection carries the register's ≈2^-m aliasing instead
+// of the exact per-word Fin comparison.  alpha 0 selects the field
+// generator.
+func RunAllCompressed(s prt.Scheme, mem ram.Memory, alpha gf.Elem) (pass bool, cycles uint64, err error) {
+	return runAll(s, mem, func(cfg prt.Config, i int) (*Controller, error) {
+		return NewCompressedController(cfg, mem, alpha, i)
+	})
+}
+
+// runAll resolves the scheme's configurations and steps one controller
+// per iteration, built by the supplied constructor.
+func runAll(s prt.Scheme, mem ram.Memory, build func(cfg prt.Config, iter int) (*Controller, error)) (pass bool, cycles uint64, err error) {
 	pass = true
 	resolved := make([]prt.Config, len(s.Iters))
 	for i, cfg := range s.Iters {
@@ -192,7 +326,7 @@ func RunAll(s prt.Scheme, mem ram.Memory) (pass bool, cycles uint64, err error) 
 		cfg.CaptureStale = false
 		cfg.StaleExpect = nil
 		resolved[i] = cfg
-		ctl, err := NewController(cfg, mem)
+		ctl, err := build(cfg, i)
 		if err != nil {
 			return false, cycles, err
 		}

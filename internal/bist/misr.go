@@ -60,6 +60,17 @@ func (m *MISR) FeedAll(ds []gf.Elem) {
 // Signature returns the current signature.
 func (m *MISR) Signature() gf.Elem { return m.state }
 
+// FoldMatrices returns the GF(2) row-mask matrices of one fold step
+// S ← α·S ⊕ d in the form the replay observer annotation
+// (ram.TraceAnnotator.AnnotateFold) consumes: step is the α-multiply
+// on the m accumulator bits, tap the identity injection of the m-bit
+// data word.  Both are freshly allocated and safe to retain.
+func (m *MISR) FoldMatrices() (step, tap []uint32) {
+	step = append([]uint32(nil), m.f.ConstMulMatrix(m.alpha).Rows...)
+	tap = append([]uint32(nil), gf.IdentityMatrix(m.f.M()).Rows...)
+	return step, tap
+}
+
 // Fed returns the number of words folded since the last reset.
 func (m *MISR) Fed() uint64 { return m.fed }
 

@@ -11,7 +11,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bist"
 	"repro/internal/fault"
+	"repro/internal/gf"
 	"repro/internal/march"
 	"repro/internal/prt"
 	"repro/internal/ram"
@@ -31,10 +33,13 @@ type Runner interface {
 // engine: the operation schedule is deterministic and independent of
 // read values, every value-dependent write is annotated as an affine
 // function of preceding reads (ram.TraceAnnotator), and detection is
-// exactly "some checked read diverges from its fault-free value".
-// Runners with aliasing comparators (MISR compression of multi-read
-// streams) or un-annotated adaptive stimuli must not implement it —
-// they stay on the per-fault oracle.
+// exactly "some checked read diverges from its fault-free value, or a
+// signature observer's accumulator differs from its prediction at an
+// annotated compare point".  MISR/BIST compression of read streams is
+// replayable via the fold/observe annotations — the observer path
+// reproduces aliasing bit-exactly.  Only runners with un-annotated
+// adaptive stimuli or detection criteria outside those two forms must
+// not implement it; they stay on the per-fault oracle.
 type ReplaySafe interface {
 	Runner
 	// ReplaySafe is a marker method.
@@ -154,18 +159,24 @@ type Result struct {
 	// FalsePositive is set when the algorithm flags a fault-free
 	// memory — a broken configuration.
 	FalsePositive bool
-	// Stats describes how the fast path executed the campaign; nil when
-	// the oracle ran.  It is diagnostic metadata: Result equality is
-	// defined over the detection tallies, so the equivalence tests zero
-	// it before comparing engines.
+	// Stats describes how the campaign actually executed.  Engine
+	// reports the strategy that really ran — when a replay-safe runner
+	// records a non-replayable trace or a false-positive clean run, the
+	// campaign falls back to the oracle and Stats says so instead of
+	// leaving the requested engine's label standing.  It is diagnostic
+	// metadata: Result equality is defined over the detection tallies,
+	// so the equivalence tests zero it before comparing engines.
 	Stats *EngineStats
 }
 
-// EngineStats is the fast path's execution report.
+// EngineStats is the campaign's execution report.
 type EngineStats struct {
-	// Engine is the replay strategy that actually ran.
+	// Engine is the strategy that actually ran (the oracle on
+	// fallback, whatever was requested otherwise).
 	Engine Engine
-	// Workers is the goroutine count batches were sharded over.
+	// Workers is the effective goroutine count work was sharded over,
+	// after clamping to the batch (or fault) count — a small universe
+	// run by one worker reports 1, not the requested pool size.
 	Workers int
 	// Reps is the number of faults simulated after collapsing
 	// (== Total when collapsing was off or not applicable).
@@ -244,7 +255,9 @@ func CampaignEngine(r Runner, u fault.Universe, mk MemoryFactory, workers int, e
 		res.FalsePositive = cleanDetected
 	}
 	if detected == nil {
-		detected = oracleDetect(r, u, mk, workers)
+		var w int
+		detected, w = oracleDetect(r, u, mk, workers)
+		res.Stats = &EngineStats{Engine: EngineOracle, Workers: w, Reps: len(u.Faults)}
 	}
 
 	for i, f := range u.Faults {
@@ -266,11 +279,11 @@ func CampaignEngine(r Runner, u fault.Universe, mk MemoryFactory, workers int, e
 // the full universe.
 func replayDetect(tr *sim.Trace, u fault.Universe, workers int, engine Engine) ([]bool, *EngineStats, error) {
 	if engine == EngineBitParallel {
-		d, err := sim.Shards(tr, u.Faults, workers)
+		d, w, err := sim.Shards(tr, u.Faults, workers)
 		if err != nil {
 			return nil, nil, err
 		}
-		return d, &EngineStats{Engine: engine, Workers: workers, Reps: len(u.Faults)}, nil
+		return d, &EngineStats{Engine: engine, Workers: w, Reps: len(u.Faults)}, nil
 	}
 	prog, err := sim.Compile(tr)
 	if err != nil {
@@ -284,7 +297,7 @@ func replayDetect(tr *sim.Trace, u fault.Universe, workers int, engine Engine) (
 		col = fault.Collapse(u.Faults, &sum)
 		faults = col.Reps
 	}
-	d, err := sim.ShardsCompiled(prog, faults, workers)
+	d, w, err := sim.ShardsCompiled(prog, faults, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -293,7 +306,7 @@ func replayDetect(tr *sim.Trace, u fault.Universe, workers int, engine Engine) (
 	}
 	return d, &EngineStats{
 		Engine:     EngineCompiled,
-		Workers:    workers,
+		Workers:    w,
 		Reps:       len(faults),
 		ProgramOps: prog.Ops(),
 		TrimmedOps: prog.TrimmedOps(),
@@ -303,8 +316,8 @@ func replayDetect(tr *sim.Trace, u fault.Universe, workers int, engine Engine) (
 // oracleDetect is the reference path: one full algorithm run per
 // injected fault, distributed over workers with an atomic cursor (no
 // producer goroutine or channel hand-off contention on large
-// universes).
-func oracleDetect(r Runner, u fault.Universe, mk MemoryFactory, workers int) []bool {
+// universes).  It also returns the effective worker count.
+func oracleDetect(r Runner, u fault.Universe, mk MemoryFactory, workers int) ([]bool, int) {
 	detected := make([]bool, len(u.Faults))
 	if workers > len(u.Faults) {
 		workers = len(u.Faults)
@@ -327,7 +340,7 @@ func oracleDetect(r Runner, u fault.Universe, mk MemoryFactory, workers int) []b
 		}()
 	}
 	wg.Wait()
-	return detected
+	return detected, workers
 }
 
 // Sum aggregates the detected/total counts over several fault classes.
@@ -420,6 +433,38 @@ func (b bitSlicedRunner) Run(mem ram.Memory) (bool, uint64) {
 		panic(fmt.Sprintf("coverage: bit-sliced %s: %v", b.name, err))
 	}
 	return r.Detected, r.Ops
+}
+
+type bistRunner struct {
+	s     prt.Scheme
+	alpha gf.Elem
+}
+
+// BISTRunner adapts the cycle-stepped on-chip BIST controller with
+// MISR signature compression (bist.RunAllCompressed): every read the
+// controller performs folds into an m-bit signature register that is
+// compared against the virtual automaton's prediction after each
+// iteration — the paper's §4 observer, aliasing included.  alpha is
+// the MISR multiplier (0 selects the field generator).
+func BISTRunner(s prt.Scheme, alpha gf.Elem) Runner {
+	return bistRunner{s: s, alpha: alpha}
+}
+
+func (b bistRunner) Name() string { return b.s.Name + "/bist" }
+
+// ReplaySafe implements ReplaySafe: the controller annotates every
+// read as a GF(2)-linear fold into the signature observer and each
+// iteration's compare as an observer compare point, so replay
+// reproduces the compressed detection — aliased multi-error patterns
+// included — bit-exactly.
+func (bistRunner) ReplaySafe() {}
+
+func (b bistRunner) Run(mem ram.Memory) (bool, uint64) {
+	pass, cycles, err := bist.RunAllCompressed(b.s, mem, b.alpha)
+	if err != nil {
+		panic(fmt.Sprintf("coverage: bist %s: %v", b.s.Name, err))
+	}
+	return !pass, cycles
 }
 
 type dualPortRunner struct {

@@ -22,6 +22,7 @@ import (
 func assertEngineEquivalence(t *testing.T, r Runner, u fault.Universe, mk MemoryFactory) {
 	t.Helper()
 	oracle := CampaignEngine(r, u, mk, 4, EngineOracle)
+	oracle.Stats = nil
 	for _, mode := range []struct {
 		name     string
 		engine   Engine

@@ -19,11 +19,16 @@ package fault
 //
 //   - trace-conditioned rules, enabled by a TraceSummary from the trace
 //     compiler: when the trace has no affine recurrence writes, read
-//     values feed nothing but the checked-read comparators, so a
-//     stuck-at fault is detected exactly when some checked read of its
-//     cell expects the opposite polarity.  If checked reads expect both
-//     polarities of a bit (or none), SA0 and SA1 on that bit share one
-//     outcome and collapse to a single representative.
+//     values feed nothing but the checked-read comparators and the
+//     signature observers, so a stuck-at fault is detected exactly when
+//     some checked read of its cell expects the opposite polarity or
+//     the bit's error pattern survives an observer.  If checked reads
+//     expect both polarities of a bit, SA0 and SA1 on that bit are both
+//     detected and collapse to a single representative; if neither
+//     polarity is checked AND the bit never feeds a signature observer,
+//     both are undetected and also collapse.  A folded-but-unchecked
+//     bit stays uncollapsed: SA0 and SA1 inject different error
+//     patterns into the register and may alias differently.
 
 // TraceSummary captures the replay-relevant properties of a recorded
 // test trace that trace-conditioned collapsing rules rely on.  It is
@@ -38,9 +43,14 @@ type TraceSummary struct {
 	Affine bool
 	// Expect[cell*Width+bit] is the set of polarities checked reads
 	// expect of that stored bit: bit 0 set when some checked read
-	// expects 0, bit 1 when some checked read expects 1.
+	// expects 0, bit 1 when some checked read expects 1; ExpectFolded
+	// set when a read of the bit feeds a signature observer.
 	Expect []uint8
 }
+
+// ExpectFolded flags a TraceSummary.Expect bit that feeds a signature
+// observer via a fold annotation.
+const ExpectFolded uint8 = 1 << 2
 
 // Collapsed is the result of collapsing a fault universe.
 type Collapsed struct {
@@ -106,10 +116,15 @@ func collapseKey(f Fault, sum *TraceSummary) any {
 		if sum != nil && !sum.Affine {
 			idx := t.Cell*sum.Width + t.Bit
 			if t.Bit < sum.Width && idx >= 0 && idx < len(sum.Expect) {
-				// Detected iff some checked read of the cell expects
-				// the opposite polarity: with both polarities expected
-				// (or neither), SA0 and SA1 coincide.
-				if e := sum.Expect[idx]; e == 0 || e == 3 {
+				// With both polarities checked, SA0 and SA1 are both
+				// detected (the observers cannot un-detect a diverging
+				// checked read); with neither polarity checked and the
+				// bit feeding no observer, both are undetected.  A
+				// folded bit without full checked coverage must stay
+				// split: the two polarities fold different error
+				// patterns and may alias differently.
+				e := sum.Expect[idx]
+				if p := e & 3; p == 3 || (p == 0 && e&ExpectFolded == 0) {
 					return safPairKey{t.Cell, t.Bit}
 				}
 			}

@@ -98,6 +98,29 @@ func TestCollapseSAFPairingUnderSummary(t *testing.T) {
 	}
 }
 
+func TestCollapseSAFPairingFoldedGate(t *testing.T) {
+	// Cell 0: unchecked but feeding a signature observer — SA0 and SA1
+	// fold different error patterns and may alias differently, so they
+	// must stay split.  Cell 1: both polarities checked AND folded —
+	// both are detected by the checked reads whatever the register
+	// does, so they still pair.
+	sum := &TraceSummary{Width: 1, Expect: []uint8{ExpectFolded, 0b11 | ExpectFolded}}
+	faults := []Fault{
+		SAF{Cell: 0, Value: 0}, SAF{Cell: 0, Value: 1},
+		SAF{Cell: 1, Value: 0}, SAF{Cell: 1, Value: 1},
+	}
+	col := Collapse(faults, sum)
+	if len(col.Reps) != 3 {
+		t.Fatalf("got %d representatives, want 3", len(col.Reps))
+	}
+	if col.Map[0] == col.Map[1] {
+		t.Error("SA0/SA1 on a folded unchecked bit must stay apart")
+	}
+	if col.Map[2] != col.Map[3] {
+		t.Error("SA0/SA1 on a both-polarity checked bit must pair even when folded")
+	}
+}
+
 func TestCollapsedExpand(t *testing.T) {
 	col := Collapsed{
 		Reps: []Fault{SAF{}, TF{}},

@@ -173,17 +173,10 @@ func verifyPass(cfg Config, mem ram.Memory, addr []int, steps int) (mismatches i
 
 // mulRows returns the GF(2) matrix of multiplication by c as row
 // bitmasks: bit s of rows[r] is set when bit r of c·2^s is 1, i.e.
-// bit r of (c·v) = XOR over set bits s of v of (rows[r] >> s & 1).
+// bit r of (c·v) = XOR over set bits s of v of (rows[r] >> s & 1) —
+// the gf.BitMatrix row convention.
 func mulRows(f *gf.Field, c gf.Elem) []uint32 {
-	m := f.M()
-	rows := make([]uint32, m)
-	for s := 0; s < m; s++ {
-		col := f.Mul(c, gf.Elem(1)<<uint(s))
-		for r := 0; r < m; r++ {
-			rows[r] |= uint32(col>>uint(r)&1) << uint(s)
-		}
-	}
-	return rows
+	return f.ConstMulMatrix(c).Rows
 }
 
 // ExpectedFinalContents returns the fault-free post-iteration cell

@@ -22,6 +22,17 @@ package ram
 //     pseudo-ring testing work.  AnnotateLinear captures the exact
 //     affine map so the replay can recompute each faulty machine's
 //     write from that machine's own (possibly corrupted) reads.
+//   - which reads feed a *signature observer* (a MISR or serial
+//     signature register) instead of a per-read comparator.  The
+//     observer is a GF(2)-linear accumulator: each fold applies a
+//     linear step to the accumulator and XORs in a linear map of the
+//     read word, and a compare point tests the accumulator against the
+//     algorithm's prediction.  Because the fold is affine, the
+//     faulty-minus-clean accumulator difference evolves linearly in
+//     the read differences, so replay reproduces signature aliasing
+//     exactly: a machine detects at a compare point iff its
+//     accumulated difference is nonzero — multi-error patterns that
+//     cancel in the register escape, just as in hardware.
 type TraceAnnotator interface {
 	// AnnotateChecked marks the most recent read as compared against
 	// its fault-free expected value.
@@ -36,6 +47,25 @@ type TraceAnnotator interface {
 	// are 1-based: back = 1 is the read immediately preceding the
 	// write).  back and rows are parallel; the callee copies both.
 	AnnotateLinear(back []int, rows [][]uint32, offset Word)
+	// AnnotateFold marks the most recent read as folded into signature
+	// observer obs (a small caller-chosen id):
+	//
+	//	acc ← step·acc ⊕ tap·read
+	//
+	// where step is the square GF(2) matrix applied to the accumulator
+	// (bit s of step[r] set when accumulator bit s feeds new bit r —
+	// the α-multiply of a MISR) and tap maps the read word's bits into
+	// the fold (bit s of tap[r] set when read bit s feeds accumulator
+	// bit r).  step and tap are parallel (one row per accumulator bit,
+	// 1–32 bits); the callee copies both.  All folds into one observer
+	// must agree on the accumulator width.
+	AnnotateFold(obs int, step, tap []uint32)
+	// AnnotateObserved marks a compare point for observer obs: the
+	// algorithm compares the accumulator against its fault-free
+	// prediction here.  On a clean run the prediction equals the
+	// accumulated clean signature, so a replayed machine is detected
+	// at the compare point exactly when its accumulator diverges.
+	AnnotateObserved(obs int)
 }
 
 // AnnotateChecked marks the last read on mem as checked when mem
@@ -51,5 +81,21 @@ func AnnotateChecked(mem Memory) {
 func AnnotateLinear(mem Memory, back []int, rows [][]uint32, offset Word) {
 	if a, ok := mem.(TraceAnnotator); ok {
 		a.AnnotateLinear(back, rows, offset)
+	}
+}
+
+// AnnotateFold marks the last read on mem as folded into signature
+// observer obs when mem records a trace; otherwise it is a no-op.
+func AnnotateFold(mem Memory, obs int, step, tap []uint32) {
+	if a, ok := mem.(TraceAnnotator); ok {
+		a.AnnotateFold(obs, step, tap)
+	}
+}
+
+// AnnotateObserved marks a compare point for observer obs when mem
+// records a trace; otherwise it is a no-op.
+func AnnotateObserved(mem Memory, obs int) {
+	if a, ok := mem.(TraceAnnotator); ok {
+		a.AnnotateObserved(obs)
 	}
 }

@@ -42,6 +42,16 @@ type Arena struct {
 	val  []uint64 // scratch: sensed lanes of the current read
 	data []uint64 // scratch: lanes of the current write
 
+	// Signature-observer state: acc holds every observer's per-lane
+	// accumulator difference back to back (Program.accWords words,
+	// offsets pre-resolved in the fold/observe side tables), obsScr is
+	// the fold scratch (widest observer) and diff the read-difference
+	// scratch.  The whole buffer is a few words per observer, so reset
+	// clears it wholesale — still O(observer state), not O(memory).
+	acc    []uint64
+	obsScr []uint64
+	diff   []uint64
+
 	pool fault.Pool
 }
 
@@ -60,6 +70,11 @@ func NewArena(p *Program) *Arena {
 	}
 	if p.maxBack > 0 {
 		a.hist = make([]uint64, p.maxBack*p.width)
+	}
+	if p.accWords > 0 {
+		a.acc = make([]uint64, p.accWords)
+		a.obsScr = make([]uint64, p.obsBits)
+		a.diff = make([]uint64, p.width)
 	}
 	return a
 }
@@ -158,6 +173,7 @@ func (a *Arena) reset() {
 	a.hookedW = a.hookedW[:0]
 	a.hookedR = a.hookedR[:0]
 	a.everyRead = a.everyRead[:0]
+	clear(a.acc)
 	a.pool.Reset()
 	a.clock = 0
 }

@@ -32,8 +32,10 @@ func Batchable(faults []fault.Fault) bool {
 // batch writes a disjoint slice segment, so the result is deterministic
 // regardless of the worker count.  A failing batch raises a shared stop
 // flag so the remaining workers short-circuit instead of completing
-// their batches uselessly.
-func shard(faults []fault.Fault, workers int, newWorker func() func(batch []fault.Fault) (uint64, error)) ([]bool, error) {
+// their batches uselessly.  The returned worker count is the effective
+// one after clamping to the batch count — what execution reports must
+// cite, not the requested value.
+func shard(faults []fault.Fault, workers int, newWorker func() func(batch []fault.Fault) (uint64, error)) ([]bool, int, error) {
 	batches := (len(faults) + BatchSize - 1) / BatchSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -76,17 +78,18 @@ func shard(faults []fault.Fault, workers int, newWorker func() func(batch []faul
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, workers, err
 		}
 	}
-	return detected, nil
+	return detected, workers, nil
 }
 
 // Shards replays the trace over the whole fault universe with the
 // per-batch interpreter (ReplayBatch), which rebuilds the machine array
 // for every batch.  It is the PR 1 reference path; ShardsCompiled is
-// the allocation-free fast path.
-func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, error) {
+// the allocation-free fast path.  The int result is the effective
+// worker count after clamping to the batch count.
+func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, int, error) {
 	return shard(faults, workers, func() func([]fault.Fault) (uint64, error) {
 		return func(batch []fault.Fault) (uint64, error) {
 			return ReplayBatch(tr, batch)
@@ -96,8 +99,9 @@ func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, error) {
 
 // ShardsCompiled replays a compiled program over the whole fault
 // universe.  Each worker owns one reusable Arena, so steady-state
-// batches allocate nothing.
-func ShardsCompiled(p *Program, faults []fault.Fault, workers int) ([]bool, error) {
+// batches allocate nothing.  The int result is the effective worker
+// count after clamping to the batch count.
+func ShardsCompiled(p *Program, faults []fault.Fault, workers int) ([]bool, int, error) {
 	return shard(faults, workers, func() func([]fault.Fault) (uint64, error) {
 		a := NewArena(p)
 		return func(batch []fault.Fault) (uint64, error) {

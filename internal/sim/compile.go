@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/fault"
@@ -8,26 +9,34 @@ import (
 )
 
 // This file is the trace compiler: Trace.Ops — a per-op tree of kinds,
-// annotations and Linear pointers — is lowered once per campaign into a
-// flat instruction stream the replay kernels execute with no per-op
-// decoding beyond a four-way opcode switch.  Compilation pre-resolves
-// everything the generic replay loop recomputes per batch:
+// annotations and Linear/Fold pointers — is lowered once per campaign
+// into a flat instruction stream the replay kernels execute with no
+// per-op decoding beyond a six-way opcode dispatch.  Compilation
+// pre-resolves everything the generic replay loop recomputes per batch:
 //
 //   - lane offsets (cell*width) per instruction;
 //   - clean data and expected checked-read values, expanded from Words
 //     into broadcast lane words in one shared pool;
 //   - affine recurrence writes, flattened into (back, dst, mask) terms;
-//   - the trace suffix after the last checked read, which is trimmed:
-//     ops past the final comparison cannot affect detection.
+//   - signature folds and observer compare points, resolved to offsets
+//     into a per-arena accumulator buffer with their GF(2) matrices
+//     deduplicated in one shared row pool;
+//   - the trace suffix after the last detection point (checked read or
+//     observer compare), which is trimmed: ops past the final
+//     comparison cannot affect detection.
 
-// Instruction opcodes, stored in the top two bits of instr.opAddr.
+// Instruction opcodes, stored in the top three bits of instr.opAddr.
+// The read-like opcodes (<= opFold) and write-like opcodes share their
+// kernel prologue, so the ordering is load-bearing.
 const (
-	opRead   uint32 = iota // plain read: sense + hooks + history
-	opCheck                // checked read: opRead + comparison against lanes
-	opWrite                // broadcast write of a literal clean value
-	opAffine               // write recomputed from earlier reads (GF(2)-affine)
+	opRead    uint32 = iota // plain read: sense + hooks + history
+	opCheck                 // checked read: opRead + comparison against lanes
+	opFold                  // read folded into a signature observer (side table)
+	opWrite                 // broadcast write of a literal clean value
+	opAffine                // write recomputed from earlier reads (GF(2)-affine)
+	opObserve               // observer compare point (no memory access)
 
-	opShift  = 30
+	opShift  = 29
 	addrMask = 1<<opShift - 1
 )
 
@@ -44,18 +53,35 @@ type instr struct {
 }
 
 // Width-1 instruction packing: the whole operation fits one uint32 —
-// opcode in the top two bits, the single data/expected bit below it,
-// the cell in the low 29 bits — quartering the instruction stream the
+// opcode in the top three bits, the single data/expected bit below it,
+// the cell in the low 28 bits — quartering the instruction stream the
 // width-1 kernel pulls through cache.  Affine ops keep their terms in
-// a side table (aff1) consumed in program order.
+// a side table (aff1) consumed in program order; folds and observes
+// consume the shared folds/observes tables, also in program order.
 const (
-	w1DataShift = 29
+	w1DataShift = 28
 	w1AddrMask  = 1<<w1DataShift - 1
 )
 
 // affEntry is the side-table record of one width-1 affine write.
 type affEntry struct {
 	t0, tn int32
+}
+
+// foldRec is the side-table record of one signature fold, consumed in
+// program order by both kernels: acc is the observer's offset into the
+// arena's accumulator buffer, bits its width, step/tap offsets into
+// the shared row pool, and checked carries an AnnotateChecked that
+// coincides with the fold.
+type foldRec struct {
+	acc, bits int32
+	step, tap int32
+	checked   bool
+}
+
+// obsRec is the side-table record of one observer compare point.
+type obsRec struct {
+	acc, bits int32
 }
 
 // affTerm is one flattened affine contribution: source-read bits
@@ -83,17 +109,30 @@ type Program struct {
 	code1 []uint32
 	aff1  []affEntry
 
+	// Observer state layout: folds/observes are consumed in program
+	// order by the kernels, rowPool holds the deduplicated step/tap
+	// matrices, accWords sizes the arena's accumulator buffer and
+	// obsBits its widest-observer scratch.
+	folds    []foldRec
+	observes []obsRec
+	rowPool  []uint32
+	accWords int
+	obsBits  int
+
 	// initLanes is the pre-run memory expanded to broadcast lane words;
 	// arenas restore dirtied cells from it between batches.
 	initLanes []uint64
 
-	trimmed int // trace ops dropped after the last checked read
+	trimmed int // trace ops dropped after the last detection point
 	affine  bool
 	// dense marks traces that write most of the array (full-array test
 	// algorithms): per-cell dirty tracking would record nearly every
 	// cell, so arenas skip it and restore wholesale between batches.
 	dense  bool
-	expect []uint8 // checked-read polarity sets, see fault.TraceSummary
+	// expect holds per cell-bit the checked-read polarity sets plus the
+	// fault.ExpectFolded flag for bits feeding a signature observer;
+	// see fault.TraceSummary.
+	expect []uint8
 }
 
 // Size returns the number of memory cells.
@@ -130,15 +169,16 @@ func (p *Program) appendLanes(w ram.Word) int32 {
 }
 
 // Compile lowers a recorded trace into a Program.  It fails on traces
-// replay would also reject: no checked reads, or an affine write
-// referencing a read that never happened.
+// replay would also reject: no detection points (checked reads or
+// observer compares), an affine write referencing a read that never
+// happened, or a fold/observe of an unregistered observer.
 func Compile(tr *Trace) (*Program, error) {
 	if !tr.Replayable() {
-		return nil, fmt.Errorf("sim: trace has no checked reads — the runner does not annotate for replay")
+		return nil, fmt.Errorf("sim: trace has no checked reads or observer compares — the runner does not annotate for replay")
 	}
 	last := -1
 	for i := range tr.Ops {
-		if tr.Ops[i].Kind == ram.OpRead && tr.Ops[i].Checked {
+		if (tr.Ops[i].Kind == ram.OpRead && tr.Ops[i].Checked) || tr.Ops[i].Kind == OpObserve {
 			last = i
 		}
 	}
@@ -151,6 +191,27 @@ func Compile(tr *Trace) (*Program, error) {
 		code:    make([]instr, 0, len(ops)),
 		trimmed: len(tr.Ops) - len(ops),
 		expect:  make([]uint8, tr.Size*tr.Width),
+	}
+	// Observer accumulator layout: one contiguous arena buffer, offsets
+	// in registration order.
+	obsOff := make([]int32, len(tr.Observers))
+	for id, bits := range tr.Observers {
+		obsOff[id] = int32(p.accWords)
+		p.accWords += bits
+		if bits > p.obsBits {
+			p.obsBits = bits
+		}
+	}
+	rowIndex := make(map[string]int32)
+	internRows := func(rows []uint32) int32 {
+		key := string(rowKey(rows))
+		if off, ok := rowIndex[key]; ok {
+			return off
+		}
+		off := int32(len(p.rowPool))
+		p.rowPool = append(p.rowPool, rows...)
+		rowIndex[key] = off
+		return off
 	}
 	p.initLanes = make([]uint64, tr.Size*tr.Width)
 	for c, w := range tr.Init {
@@ -175,6 +236,43 @@ func Compile(tr *Trace) (*Program, error) {
 		op := &ops[i]
 		in := instr{opAddr: uint32(op.Addr)}
 		switch {
+		case op.Kind == OpObserve:
+			if op.Addr < 0 || op.Addr >= len(tr.Observers) || tr.Observers[op.Addr] == 0 {
+				return nil, fmt.Errorf("sim: observe of unregistered observer %d", op.Addr)
+			}
+			in.opAddr = uint32(op.Addr) | opObserve<<opShift
+			p.observes = append(p.observes, obsRec{
+				acc: obsOff[op.Addr], bits: int32(tr.Observers[op.Addr]),
+			})
+		case op.Kind == ram.OpRead && op.Fold != nil:
+			f := op.Fold
+			if f.Obs < 0 || f.Obs >= len(tr.Observers) || tr.Observers[f.Obs] != len(f.Step) {
+				return nil, fmt.Errorf("sim: fold into unregistered observer %d", f.Obs)
+			}
+			in.opAddr |= opFold << opShift
+			in.lane = p.appendLanes(op.Data)
+			p.folds = append(p.folds, foldRec{
+				acc:     obsOff[f.Obs],
+				bits:    int32(len(f.Step)),
+				step:    internRows(f.Step),
+				tap:     internRows(f.Tap),
+				checked: op.Checked,
+			})
+			for b := 0; b < tr.Width; b++ {
+				if op.Checked {
+					p.expect[op.Addr*tr.Width+b] |= 1 << uint(op.Data>>uint(b)&1)
+				}
+				for _, m := range f.Tap {
+					if m>>uint(b)&1 == 1 {
+						// The bit feeds a signature register: flag it so
+						// trace-conditioned fault collapsing cannot pair
+						// polarities whose fold streams differ.
+						p.expect[op.Addr*tr.Width+b] |= fault.ExpectFolded
+						break
+					}
+				}
+			}
+			reads++
 		case op.Kind == ram.OpRead:
 			if op.Checked {
 				in.opAddr |= opCheck << opShift
@@ -217,14 +315,31 @@ func Compile(tr *Trace) (*Program, error) {
 	return p, nil
 }
 
+// rowKey serialises a row-mask matrix for deduplication in the shared
+// row pool (folds of one observer typically repeat the same step/tap
+// matrices thousands of times).
+func rowKey(rows []uint32) []byte {
+	b := make([]byte, 4*len(rows))
+	for i, r := range rows {
+		binary.LittleEndian.PutUint32(b[4*i:], r)
+	}
+	return b
+}
+
 // pack1 builds the width-1 instruction stream: the data/expected bit
-// rides in the instruction word, affine term windows in a side table.
+// rides in the instruction word, affine term windows in a side table;
+// folds and observes consume the shared side tables in program order.
 func (p *Program) pack1(ops []Op) {
 	p.code1 = make([]uint32, 0, len(ops))
 	for i := range ops {
 		op := &ops[i]
 		oa := uint32(op.Addr)
 		switch {
+		case op.Kind == OpObserve:
+			oa = uint32(op.Addr) | opObserve<<opShift
+		case op.Kind == ram.OpRead && op.Fold != nil:
+			oa |= opFold << opShift
+			oa |= uint32(op.Data&1) << w1DataShift
 		case op.Kind == ram.OpRead:
 			if op.Checked {
 				oa |= opCheck << opShift

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/gf"
 	"repro/internal/march"
 	"repro/internal/prt"
 	"repro/internal/ram"
@@ -40,6 +41,48 @@ func recordPRT(t *testing.T, n, m int) *Trace {
 	}
 	if tr.MaxBack == 0 {
 		t.Fatal("PRT trace has no affine writes — annotation lost?")
+	}
+	return tr
+}
+
+// recordObserver captures a signature-observer trace on a width-m WOM:
+// literal TDB writes (no affine recurrences), every read-back folded
+// into a GF(2^m) MISR observer, one compare point, no checked reads —
+// the minimal signature-BIST shape.  Being non-affine, it is also the
+// shape whose detection depends entirely on the fold/observe path (and
+// exercises the folded-bit gating of trace-conditioned collapsing).
+func recordObserver(t *testing.T, n, m int) *Trace {
+	t.Helper()
+	f := gf.NewField(m)
+	alpha := f.Generator()
+	step := f.ConstMulMatrix(alpha).Rows
+	tap := gf.IdentityMatrix(m).Rows
+	tr, detected, ops := Record(ram.NewWOM(n, m), func(mem ram.Memory) (bool, uint64) {
+		var ops uint64
+		for a := 0; a < n; a++ {
+			mem.Write(a, ram.Word(gf.Elem(a)&f.Mask()))
+			ops++
+		}
+		var sig, want gf.Elem
+		for a := 0; a < n; a++ {
+			v := gf.Elem(mem.Read(a))
+			ram.AnnotateFold(mem, 0, step, tap)
+			ops++
+			sig = f.Add(f.Mul(alpha, sig), v)
+			want = f.Add(f.Mul(alpha, want), gf.Elem(a)&f.Mask())
+		}
+		ram.AnnotateObserved(mem, 0)
+		return sig != want, ops
+	})
+	if detected || ops == 0 {
+		t.Fatalf("bad clean run: detected=%v ops=%d", detected, ops)
+	}
+	if tr.Checked != 0 || tr.Observes != 1 || len(tr.Observers) != 1 || tr.Observers[0] != m {
+		t.Fatalf("observer trace mis-annotated: checked=%d observes=%d observers=%v",
+			tr.Checked, tr.Observes, tr.Observers)
+	}
+	if !tr.Replayable() {
+		t.Fatal("observer-only trace must be replayable")
 	}
 	return tr
 }
@@ -93,6 +136,18 @@ func TestCompiledKernelAffineMatchesInterpreter(t *testing.T) {
 	tr := recordPRT(t, n, m)
 	u := fault.StandardUniverse(n, m, 8, 7)
 	assertCompiledMatchesReplayBatch(t, tr, u.Faults)
+}
+
+// TestCompiledKernelObserverMatchesInterpreter: both kernels must fold
+// the per-lane accumulator differences exactly as the interpreter does,
+// for the width-1 and the generic kernel.
+func TestCompiledKernelObserverMatchesInterpreter(t *testing.T) {
+	for _, m := range []int{1, 4} {
+		const n = 24
+		tr := recordObserver(t, n, m)
+		u := fault.StandardUniverse(n, m, 8, 9)
+		assertCompiledMatchesReplayBatch(t, tr, u.Faults)
+	}
 }
 
 // TestCompileTrimsSuffix: ops after the last checked read cannot affect
@@ -156,6 +211,10 @@ func TestReplaySteadyStateAllocatesNothing(t *testing.T) {
 			fault.StandardUniverse(32, 4, 8, 11).Faults[:BatchSize]},
 		{"affine", recordPRT(t, 17, 4),
 			fault.StandardUniverse(17, 4, 8, 11).Faults[:BatchSize]},
+		{"observer1", recordObserver(t, 32, 1),
+			fault.StandardUniverse(32, 1, 8, 11).Faults[:BatchSize]},
+		{"observerN", recordObserver(t, 32, 4),
+			fault.StandardUniverse(32, 4, 8, 11).Faults[:BatchSize]},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -218,7 +277,7 @@ func TestShardsCompiledMatchesAcrossWorkerCounts(t *testing.T) {
 	faults := fault.SingleCellUniverse(n, 1) // 128 faults = 2 batches
 	var ref []bool
 	for _, workers := range []int{1, 3, 8} {
-		got, err := ShardsCompiled(p, faults, workers)
+		got, _, err := ShardsCompiled(p, faults, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,14 +301,14 @@ func TestShardsPropagateBatchErrors(t *testing.T) {
 	tr := recordMarch(t, march.MarchB(), n)
 	faults := fault.SingleCellUniverse(n, 1) // 2 batches
 	faults[BatchSize+3] = alienFault{}       // second batch fails injection
-	if _, err := Shards(tr, faults, 2); err == nil {
+	if _, _, err := Shards(tr, faults, 2); err == nil {
 		t.Fatal("Shards must propagate a failing batch")
 	}
 	p, err := Compile(tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ShardsCompiled(p, faults, 2); err == nil {
+	if _, _, err := ShardsCompiled(p, faults, 2); err == nil {
 		t.Fatal("ShardsCompiled must propagate a failing batch")
 	}
 }

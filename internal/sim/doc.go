@@ -8,12 +8,15 @@
 //
 //  1. Trace recording (Recorder, Record): the test algorithm runs once
 //     on an instrumented fault-free memory and its operation stream is
-//     captured — (op, addr, data) plus two annotations supplied by the
-//     executors via ram.TraceAnnotator: which reads the algorithm
-//     compares against fault-free expectations ("checked" reads), and
-//     how recurrence writes derive from preceding reads (the π-test's
+//     captured — (op, addr, data) plus three annotations supplied by
+//     the executors via ram.TraceAnnotator: which reads the algorithm
+//     compares against fault-free expectations ("checked" reads), how
+//     recurrence writes derive from preceding reads (the π-test's
 //     GF(2)-affine map, so replay preserves error propagation through
-//     the walking automaton).
+//     the walking automaton), and which reads fold into a signature
+//     observer (a MISR/SISR's GF(2)-linear accumulator, with compare
+//     points where the algorithm tests the register against its
+//     prediction).
 //
 //  2. Bit-sliced replay (Array, ReplayBatch): each cell-bit of the
 //     memory becomes a uint64 lane word holding that bit's value
@@ -21,10 +24,16 @@
 //     installed through the fault.BatchInjector capability as
 //     per-machine masked hooks that reproduce the Inject decorator
 //     wrappers exactly.  A machine is detected as soon as one of its
-//     checked reads diverges from the recorded clean value — the same
-//     criterion the oracle's comparators apply, since every expected
-//     value a well-formed algorithm checks equals the clean-run value.
-//     A batch finishes early once all of its machines have detected.
+//     checked reads diverges from the recorded clean value, or an
+//     observer compare point finds its accumulated signature
+//     difference nonzero — the same criteria the oracle's comparators
+//     apply, since every expected value (and predicted signature) a
+//     well-formed algorithm checks equals the clean-run value.
+//     Because the fold is affine, the faulty-minus-clean accumulator
+//     difference evolves linearly in the read differences, so replay
+//     reproduces MISR aliasing bit-exactly: multi-error patterns that
+//     cancel in the register stay undetected, as in hardware.  A batch
+//     finishes early once all of its machines have detected.
 //
 //  3. Sharded campaigns (Shards): the fault universe is partitioned
 //     into 64-machine batches distributed over a worker pool with an
@@ -36,17 +45,19 @@
 //
 //   - Compile lowers the trace once per campaign into a flat
 //     instruction stream with pre-resolved lane offsets, broadcast-
-//     expanded clean values, flattened affine terms, and the suffix
-//     after the last checked read trimmed (nothing past the final
+//     expanded clean values, flattened affine terms, fold/observe side
+//     tables with deduplicated GF(2) matrices, and the suffix after
+//     the last detection point trimmed (nothing past the final
 //     comparison can affect detection).  Width-1 traces additionally
 //     pack each op into a single uint32.
 //
 //   - Arena is a worker's reusable machine-array state: lane buffer,
 //     hook tables (with a one-byte per-cell flag map the kernels test
-//     instead of slice headers), history ring, scratch, and a
-//     fault.Pool recycling hook objects.  Between batches it restores
-//     only the cells the previous batch dirtied (or wholesale for
-//     dense traces), so steady-state batches allocate nothing.
+//     instead of slice headers), history ring, observer accumulators,
+//     scratch, and a fault.Pool recycling hook objects.  Between
+//     batches it restores only the cells the previous batch dirtied
+//     (or wholesale for dense traces), so steady-state batches
+//     allocate nothing.
 //
 //   - Replay dispatches to a width-1 kernel (no per-bit inner loops;
 //     the regime of the paper's Fig. 1a bit-oriented memories and the
@@ -63,7 +74,9 @@
 // The engine is exact, not approximate: package coverage cross-checks
 // all of it against the per-fault oracle path, and the equivalence
 // property tests assert identical per-class results over full fault
-// universes, for both kernels, with collapsing on and off.  Runners
-// opt in via coverage.ReplaySafe; anything else (adaptive stimuli,
-// signature compression with aliasing) stays on the oracle.
+// universes, for both kernels, with collapsing on and off — including
+// signature-compressed (MISR/BIST) runners, whose aliasing the
+// observer path models bit-exactly.  Runners opt in via
+// coverage.ReplaySafe; anything else (un-annotated adaptive stimuli)
+// stays on the oracle.
 package sim

@@ -48,16 +48,32 @@ func (p *Program) Replay(a *Arena, faults []fault.Fault) (uint64, error) {
 // even 1M-cell traces stream 4 bytes per op.
 func (p *Program) run1(a *Arena, full uint64) uint64 {
 	var detected uint64
-	slots, hpos, affPos := p.maxBack, 0, 0
+	slots, hpos, affPos, foldPos, obsPos := p.maxBack, 0, 0, 0, 0
 	lanes, hist, flags := a.lanes, a.hist, a.flags
 	hasEvery := len(a.everyRead) != 0
 	track := !p.dense // dense traces restore wholesale, skip marking
 	clock := a.clock
 	for _, oa := range p.code1 {
-		cell := int(oa & w1AddrMask)
 		op := oa >> opShift
+		if op == opObserve {
+			// Compare point: no memory access, no clock tick — the
+			// machine diverges iff its accumulated signature diff is
+			// nonzero.
+			ob := &p.observes[obsPos]
+			obsPos++
+			var d uint64
+			for _, w := range a.acc[ob.acc : ob.acc+ob.bits] {
+				d |= w
+			}
+			detected |= d & full
+			if detected == full {
+				break
+			}
+			continue
+		}
+		cell := int(oa & w1AddrMask)
 		clock++
-		if op <= opCheck {
+		if op <= opFold {
 			v := lanes[cell]
 			if flags[cell]&flagRead != 0 || hasEvery {
 				a.clock = clock
@@ -76,12 +92,40 @@ func (p *Program) run1(a *Arena, full uint64) uint64 {
 					hpos = 0
 				}
 			}
-			if op == opCheck {
+			if op != opRead {
 				clean := uint64(0) - uint64(oa>>w1DataShift&1) // broadcast the expected bit
-				detected |= (v ^ clean) & full
-				if detected == full {
-					break // every machine has detected
+				d := v ^ clean
+				if op == opCheck {
+					detected |= d & full
+					if detected == full {
+						break // every machine has detected
+					}
+					continue
 				}
+				// opFold: acc ← step·acc ⊕ tap·diff, per lane.
+				fr := &p.folds[foldPos]
+				foldPos++
+				if fr.checked {
+					detected |= d & full
+					if detected == full {
+						break
+					}
+				}
+				step := p.rowPool[fr.step : fr.step+fr.bits]
+				tap := p.rowPool[fr.tap : fr.tap+fr.bits]
+				av := a.acc[fr.acc : fr.acc+fr.bits]
+				scr := a.obsScr
+				for r := range av {
+					var nv uint64
+					for m := step[r]; m != 0; m &= m - 1 {
+						nv ^= av[bits.TrailingZeros32(m)]
+					}
+					if tap[r]&1 != 0 {
+						nv ^= d
+					}
+					scr[r] = nv
+				}
+				copy(av, scr[:len(av)])
 			}
 			continue
 		}
@@ -126,7 +170,7 @@ func (p *Program) run1(a *Arena, full uint64) uint64 {
 func (p *Program) runN(a *Arena, full uint64) uint64 {
 	w := p.width
 	var detected uint64
-	slots, hpos := p.maxBack, 0
+	slots, hpos, foldPos, obsPos := p.maxBack, 0, 0, 0
 	flags := a.flags
 	hasEvery := len(a.everyRead) != 0
 	track := !p.dense // dense traces restore wholesale, skip marking
@@ -135,9 +179,23 @@ func (p *Program) runN(a *Arena, full uint64) uint64 {
 		in := &p.code[i]
 		cell := int(in.opAddr & addrMask)
 		op := in.opAddr >> opShift
+		if op == opObserve {
+			// Compare point: no memory access, no clock tick.
+			ob := &p.observes[obsPos]
+			obsPos++
+			var d uint64
+			for _, wv := range a.acc[ob.acc : ob.acc+ob.bits] {
+				d |= wv
+			}
+			detected |= d & full
+			if detected == full {
+				break
+			}
+			continue
+		}
 		base := cell * w
 		clock++
-		if op <= opCheck {
+		if op <= opFold {
 			val := a.val
 			copy(val, a.lanes[base:base+w])
 			if flags[cell]&flagRead != 0 || hasEvery {
@@ -165,6 +223,37 @@ func (p *Program) runN(a *Arena, full uint64) uint64 {
 				if detected == full {
 					break // every machine has detected
 				}
+			} else if op == opFold {
+				// acc ← step·acc ⊕ tap·diff, per lane.
+				fr := &p.folds[foldPos]
+				foldPos++
+				clean := p.lanePool[in.lane : int(in.lane)+w]
+				diff := a.diff
+				var any uint64
+				for b := 0; b < w; b++ {
+					diff[b] = val[b] ^ clean[b]
+					any |= diff[b]
+				}
+				if fr.checked {
+					detected |= any & full
+					if detected == full {
+						break
+					}
+				}
+				step := p.rowPool[fr.step : fr.step+fr.bits]
+				tap := p.rowPool[fr.tap : fr.tap+fr.bits]
+				av := a.acc[fr.acc : fr.acc+fr.bits]
+				for r := range av {
+					var nv uint64
+					for m := step[r]; m != 0; m &= m - 1 {
+						nv ^= av[bits.TrailingZeros32(m)]
+					}
+					for m := tap[r]; m != 0; m &= m - 1 {
+						nv ^= diff[bits.TrailingZeros32(m)]
+					}
+					a.obsScr[r] = nv
+				}
+				copy(av, a.obsScr[:len(av)])
 			}
 			continue
 		}

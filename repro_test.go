@@ -1,10 +1,14 @@
 package repro
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/coverage"
 	"repro/internal/fault"
+	"repro/internal/prt"
+	"repro/internal/ram"
 )
 
 func TestSelfTestFacade(t *testing.T) {
@@ -122,13 +126,47 @@ func TestExperimentMultiplierSynthesis(t *testing.T) {
 	}
 }
 
+// TestSignatureRunnersRideTheCompiledEngine is the PR's acceptance
+// property: the E15 MISR-compressed runner, the compressed BIST
+// runner and the E16 SISR workload all execute on EngineCompiled
+// (Stats proves it — no silent oracle fallback) with detection tallies
+// byte-identical to the per-fault oracle.
+func TestSignatureRunnersRideTheCompiledEngine(t *testing.T) {
+	const n = 32
+	womU := fault.Universe{Name: "single", Faults: fault.SingleCellUniverse(n, 4)}
+	womMk := func() ram.Memory { return ram.NewWOM(n, 4) }
+	bomU := fault.Universe{Name: "coupling", Faults: fault.CouplingUniverse(fault.AdjacentPairs(n))}
+	bomMk := func() ram.Memory { return ram.NewBOM(n) }
+	cases := []struct {
+		r  coverage.Runner
+		u  fault.Universe
+		mk coverage.MemoryFactory
+	}{
+		{misrCompressedRunner{n: n}, womU, womMk},
+		{coverage.BISTRunner(prt.PaperWOMScheme3(), 0), womU, womMk},
+		{sisrRunner{w: 4}, bomU, bomMk},
+		{sisrRunner{exact: true}, bomU, bomMk},
+	}
+	for _, tc := range cases {
+		got := coverage.CampaignEngine(tc.r, tc.u, tc.mk, 4, coverage.EngineCompiled)
+		if got.Stats == nil || got.Stats.Engine != coverage.EngineCompiled {
+			t.Errorf("%s: Stats = %+v, want the compiled engine (no fallback)", tc.r.Name(), got.Stats)
+		}
+		oracle := coverage.CampaignEngine(tc.r, tc.u, tc.mk, 4, coverage.EngineOracle)
+		got.Stats, oracle.Stats = nil, nil
+		if !reflect.DeepEqual(got, oracle) {
+			t.Errorf("%s: compiled %+v != oracle %+v", tc.r.Name(), got, oracle)
+		}
+	}
+}
+
 func TestAllExperimentsBuild(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep is slow")
 	}
 	tables := AllExperiments()
-	if len(tables) != 15 {
-		t.Fatalf("expected 15 experiment tables, got %d", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("expected 16 experiment tables, got %d", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.String() == "" || len(tb.Rows) == 0 {
