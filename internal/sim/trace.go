@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/ram"
 )
@@ -18,7 +19,28 @@ type Linear struct {
 	Offset ram.Word
 }
 
-// Op is one recorded memory operation (ram.OpRead or ram.OpWrite).
+// Fold describes a read's signature-fold annotation: the observed
+// value feeds a GF(2)-linear accumulator; see ram.TraceAnnotator for
+// the exact bit semantics.
+type Fold struct {
+	// Obs is the observer id (index into Trace.Observers).
+	Obs int
+	// Step[r] is the bitmask of accumulator bits feeding new
+	// accumulator bit r (the MISR's α-multiply).
+	Step []uint32
+	// Tap[r] is the bitmask of read-word bits XORed into accumulator
+	// bit r.
+	Tap []uint32
+}
+
+// OpObserve is the trace-op kind of an observer compare point.  It is
+// not a memory access: replay tests the observer's accumulated
+// faulty-minus-clean difference and detects the machine when it is
+// nonzero, without touching lanes, hooks or the operation clock.
+const OpObserve ram.OpKind = -1
+
+// Op is one recorded memory operation (ram.OpRead or ram.OpWrite) or
+// an observer compare point (OpObserve, with Addr the observer id).
 type Op struct {
 	Kind ram.OpKind
 	Addr int
@@ -31,6 +53,8 @@ type Op struct {
 	// Lin, when non-nil, overrides Data with an affine recomputation
 	// from the replaying machine's own earlier reads.
 	Lin *Linear
+	// Fold, when non-nil, folds this read into a signature observer.
+	Fold *Fold
 }
 
 // Trace is the deterministic operation stream of one clean run of a
@@ -41,18 +65,25 @@ type Trace struct {
 	// Init is the memory contents before the run.
 	Init []ram.Word
 	Ops  []Op
-	// Checked counts checked reads — a trace with none would declare
-	// every fault undetected, which almost always means the executor
-	// does not annotate; Replayable reports on it.
+	// Checked counts checked reads — a trace with none (and no
+	// observer compare points) would declare every fault undetected,
+	// which almost always means the executor does not annotate;
+	// Replayable reports on it.
 	Checked int
 	// MaxBack is the largest Linear.Back distance, sizing the replay's
 	// read-history ring.
 	MaxBack int
+	// Observers[id] is the accumulator bit-width of signature observer
+	// id (0 for an id never folded into).
+	Observers []int
+	// Observes counts observer compare points.
+	Observes int
 }
 
 // Replayable reports whether the trace carries the annotations replay
-// correctness depends on (at least one checked read).
-func (t *Trace) Replayable() bool { return t.Checked > 0 }
+// correctness depends on: at least one detection point (a checked read
+// or an observer compare).
+func (t *Trace) Replayable() bool { return t.Checked > 0 || t.Observes > 0 }
 
 // Recorder is an instrumented ram.Memory: it forwards every operation
 // to a fault-free backing memory and appends it to the trace.  It
@@ -61,6 +92,11 @@ func (t *Trace) Replayable() bool { return t.Checked > 0 }
 type Recorder struct {
 	mem ram.Memory
 	tr  Trace
+	// lastFold[obs] is the most recent Fold recorded for the observer;
+	// folds almost always repeat the same matrices (a MISR's step/tap
+	// are fixed), so reuse keeps recording O(observers) — not
+	// O(reads) — in allocations.  Ops share the pointer read-only.
+	lastFold []*Fold
 }
 
 // NewRecorder wraps a fresh fault-free memory.
@@ -132,6 +168,70 @@ func (r *Recorder) AnnotateLinear(back []int, rows [][]uint32, offset ram.Word) 
 		}
 	}
 	r.tr.Ops[last].Lin = lin
+}
+
+// AnnotateFold implements ram.TraceAnnotator.
+func (r *Recorder) AnnotateFold(obs int, step, tap []uint32) {
+	last := len(r.tr.Ops) - 1
+	if last < 0 || r.tr.Ops[last].Kind != ram.OpRead {
+		panic("sim: AnnotateFold without a preceding read")
+	}
+	if r.tr.Ops[last].Fold != nil {
+		panic("sim: read already folded into an observer")
+	}
+	if obs < 0 {
+		panic(fmt.Sprintf("sim: negative observer id %d", obs))
+	}
+	bits := len(step)
+	if bits != len(tap) {
+		panic(fmt.Sprintf("sim: %d step rows for %d tap rows", bits, len(tap)))
+	}
+	if bits < 1 || bits > 32 {
+		panic(fmt.Sprintf("sim: observer width %d out of range [1,32]", bits))
+	}
+	if bits < 32 {
+		for r2, m := range step {
+			if m>>uint(bits) != 0 {
+				panic(fmt.Sprintf("sim: step row %d references accumulator bits beyond width %d", r2, bits))
+			}
+		}
+	}
+	if w := r.tr.Width; w < 32 {
+		for r2, m := range tap {
+			if m>>uint(w) != 0 {
+				panic(fmt.Sprintf("sim: tap row %d references read bits beyond memory width %d", r2, w))
+			}
+		}
+	}
+	for obs >= len(r.tr.Observers) {
+		r.tr.Observers = append(r.tr.Observers, 0)
+		r.lastFold = append(r.lastFold, nil)
+	}
+	if w := r.tr.Observers[obs]; w == 0 {
+		r.tr.Observers[obs] = bits
+	} else if w != bits {
+		panic(fmt.Sprintf("sim: observer %d folded at width %d after width %d", obs, bits, w))
+	}
+	if f := r.lastFold[obs]; f != nil && slices.Equal(f.Step, step) && slices.Equal(f.Tap, tap) {
+		r.tr.Ops[last].Fold = f
+		return
+	}
+	f := &Fold{
+		Obs:  obs,
+		Step: append([]uint32(nil), step...),
+		Tap:  append([]uint32(nil), tap...),
+	}
+	r.lastFold[obs] = f
+	r.tr.Ops[last].Fold = f
+}
+
+// AnnotateObserved implements ram.TraceAnnotator.
+func (r *Recorder) AnnotateObserved(obs int) {
+	if obs < 0 || obs >= len(r.tr.Observers) || r.tr.Observers[obs] == 0 {
+		panic(fmt.Sprintf("sim: AnnotateObserved of observer %d that was never folded into", obs))
+	}
+	r.tr.Ops = append(r.tr.Ops, Op{Kind: OpObserve, Addr: obs})
+	r.tr.Observes++
 }
 
 // Trace returns the recorded trace.
