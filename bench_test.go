@@ -333,6 +333,63 @@ func BenchmarkCampaignPRT(b *testing.B) {
 	}
 }
 
+// BenchmarkSession measures the campaign session layer on an
+// E10-style multi-runner workload: five March algorithms over one
+// bit-oriented SAF+CF universe.  "independent" is the pre-session
+// structure — back-to-back CampaignEngine runs, each re-recording,
+// re-compiling and re-simulating the full universe.  "session" runs
+// the same five campaigns as one Plan (shared program cache + arena
+// pool, no dropping — results byte-identical to independent runs).
+// "session+drop" adds cross-test fault dropping with cheapest-first
+// ordering: each fault is simulated only until some test detects it,
+// which is where the bulk of the speedup lives.  The custom metric is
+// (logical) faults/s over the full universe × runner count, so the
+// three modes are directly comparable.
+func BenchmarkSession(b *testing.B) {
+	const n = 1024
+	u := fault.Universe{Name: "saf+cf", Faults: append(
+		fault.SingleCellUniverse(n, 1),
+		fault.CouplingUniverse(fault.AdjacentPairs(n))...)}
+	mk := func() ram.Memory { return ram.NewBOM(n) }
+	runners := []coverage.Runner{
+		coverage.MarchRunner(march.MATSPlus(), nil),
+		coverage.MarchRunner(march.MarchX(), nil),
+		coverage.MarchRunner(march.MarchY(), nil),
+		coverage.MarchRunner(march.MarchCMinus(), nil),
+		coverage.MarchRunner(march.MarchB(), nil),
+	}
+	logical := float64(u.Len() * len(runners))
+	b.Run(fmt.Sprintf("n=%d/independent", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var det int
+			for _, r := range runners {
+				res := coverage.CampaignEngine(r, u, mk, 0, coverage.EngineCompiled)
+				det += res.Detected
+			}
+			sink = uint64(det)
+		}
+		b.ReportMetric(logical*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+	})
+	session := func(drop bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := coverage.Plan{
+					Runners: runners, Universe: u, Memory: mk,
+					Engine: coverage.EngineCompiled, Drop: drop,
+					Order: coverage.OrderCheapestFirst,
+					Cache: coverage.SharedProgramCache(),
+				}
+				sink = uint64(p.Run().Cumulative.Detected)
+			}
+			b.ReportMetric(logical*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+		}
+	}
+	b.Run(fmt.Sprintf("n=%d/session", n), session(false))
+	b.Run(fmt.Sprintf("n=%d/session+drop", n), session(true))
+}
+
 var sink uint64
 
 // --- E14: ablation — ring vs plain iterations ---

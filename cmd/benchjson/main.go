@@ -11,13 +11,21 @@
 //
 // Non-benchmark lines (the tables the benches print, PASS/ok trailers)
 // are ignored.
+// With -assert-names BASELINE.json, the parsed result is additionally
+// diffed against the baseline's benchmark *name set*: any baseline
+// name missing from stdin fails the run, so a renamed or deleted
+// benchmark breaks CI loudly instead of silently archiving a shrunken
+// perf artifact.  New names are reported but allowed (they belong in
+// the next baseline refresh).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -66,7 +74,33 @@ func parseLine(line string) (Entry, bool) {
 	return e, len(e.Metrics) > 0
 }
 
+// missingNames returns the baseline names absent from the current
+// entries, sorted, plus the names the baseline has never seen.
+func missingNames(baseline, current []Entry) (missing, added []string) {
+	have := make(map[string]bool, len(current))
+	for _, e := range current {
+		have[e.Name] = true
+	}
+	known := make(map[string]bool, len(baseline))
+	for _, e := range baseline {
+		known[e.Name] = true
+		if !have[e.Name] {
+			missing = append(missing, e.Name)
+		}
+	}
+	for _, e := range current {
+		if !known[e.Name] {
+			added = append(added, e.Name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(added)
+	return missing, added
+}
+
 func main() {
+	assertNames := flag.String("assert-names", "", "baseline JSON file; exit nonzero when any of its benchmark names is missing from stdin's results")
+	flag.Parse()
 	var entries []Entry
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -92,4 +126,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+	if *assertNames != "" {
+		raw, err := os.ReadFile(*assertNames)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var baseline []Entry
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *assertNames, err)
+			os.Exit(1)
+		}
+		missing, added := missingNames(baseline, entries)
+		for _, n := range added {
+			fmt.Fprintf(os.Stderr, "benchjson: note: new benchmark %q not in baseline %s\n", n, *assertNames)
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d baseline benchmark(s) missing from the results (renamed or deleted?):\n", len(missing))
+			for _, n := range missing {
+				fmt.Fprintf(os.Stderr, "  %s\n", n)
+			}
+			os.Exit(1)
+		}
+	}
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseLineBenchResult(t *testing.T) {
 	e, ok := parseLine("BenchmarkCampaign/n=1024/oracle-8  1  123456 ns/op  9.5e+04 faults/s  160 B/op  3 allocs/op")
@@ -53,6 +56,35 @@ func TestParseLineSuffixStripping(t *testing.T) {
 		if e.Name != tc.want {
 			t.Errorf("%q: name = %q, want %q", tc.in, e.Name, tc.want)
 		}
+	}
+}
+
+func TestMissingNames(t *testing.T) {
+	mk := func(names ...string) []Entry {
+		out := make([]Entry, len(names))
+		for i, n := range names {
+			out[i] = Entry{Name: n}
+		}
+		return out
+	}
+	baseline := mk("Campaign/n=1024/oracle", "Session/n=1024/session+drop", "CampaignPRT/n=256/compiled")
+	// Identical sets: clean.
+	missing, added := missingNames(baseline, mk("CampaignPRT/n=256/compiled", "Session/n=1024/session+drop", "Campaign/n=1024/oracle"))
+	if len(missing) != 0 || len(added) != 0 {
+		t.Fatalf("identical sets: missing=%v added=%v", missing, added)
+	}
+	// A rename shows up as one missing + one added, sorted.
+	missing, added = missingNames(baseline, mk("Campaign/n=1024/oracle", "Session/n=1024/renamed", "CampaignPRT/n=256/compiled"))
+	if !reflect.DeepEqual(missing, []string{"Session/n=1024/session+drop"}) {
+		t.Errorf("missing = %v", missing)
+	}
+	if !reflect.DeepEqual(added, []string{"Session/n=1024/renamed"}) {
+		t.Errorf("added = %v", added)
+	}
+	// A pure addition is allowed (no missing names).
+	missing, added = missingNames(baseline, append(mk("Extra/new"), baseline...))
+	if len(missing) != 0 || !reflect.DeepEqual(added, []string{"Extra/new"}) {
+		t.Errorf("pure addition: missing=%v added=%v", missing, added)
 	}
 }
 

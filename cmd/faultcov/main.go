@@ -6,10 +6,13 @@
 //
 //	faultcov                 # all experiments (compiled engine)
 //	faultcov -exp e6         # one experiment; -exp '?' lists the ids
-//	faultcov -csv            # CSV output
+//	faultcov -format csv     # CSV output (-csv is the legacy alias)
+//	faultcov -format json    # JSON Lines: one object per table row
 //	faultcov -engine oracle  # per-fault reference engine
 //	faultcov -workers 4      # fixed campaign worker count
 //	faultcov -collapse=false # simulate the full universe, uncollapsed
+//	faultcov -drop           # cross-test fault dropping in sessions
+//	faultcov -session        # report survivors per session stage
 //
 // The experiment catalogue is defined once in this file (the order
 // slice below) and the -exp help text is generated from it, so the two
@@ -24,6 +27,15 @@
 // signature-compressed (MISR/BIST) rows, whose aliasing the compiled
 // engine's observers replay exactly; the oracle is the reference the
 // replay engines are property-tested against.
+//
+// Experiments that compare several algorithms over one universe run as
+// campaign sessions (coverage.Plan).  -drop enables cross-test fault
+// dropping inside those sessions: once a fault is detected by one
+// algorithm it is dropped from the rest, so later rows cover only the
+// faults the preceding algorithms missed (the per-algorithm rows are
+// then conditional on session order; defaults keep every row an
+// independent full-universe campaign).  -session prints one summary
+// line per session with the survivor count after each stage.
 package main
 
 import (
@@ -79,10 +91,13 @@ func main() {
 	ids := strings.Join(order, ", ")
 
 	exp := flag.String("exp", "all", fmt.Sprintf("experiment id: %s or all", ids))
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	format := flag.String("format", "text", "output format: text (aligned), csv, or json (JSON Lines, one object per row)")
+	csv := flag.Bool("csv", false, "emit CSV (legacy alias for -format csv)")
 	engine := flag.String("engine", "compiled", "campaign engine: compiled (arena replay), bitpar (per-batch interpreter) or oracle (one run per fault)")
 	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
 	collapse := flag.Bool("collapse", true, "collapse equivalent faults before simulation (compiled engine)")
+	drop := flag.Bool("drop", false, "cross-test fault dropping: later runners of a comparison session simulate only the faults earlier runners missed (their rows then cover survivors only)")
+	session := flag.Bool("session", false, "print one summary line per campaign session with survivors after each stage")
 	flag.Parse()
 
 	eng, err := coverage.ParseEngine(*engine)
@@ -90,16 +105,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faultcov: %v\n", err)
 		os.Exit(2)
 	}
+	if *csv {
+		*format = "csv"
+	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "faultcov: unknown format %q (want text, csv or json)\n", *format)
+		os.Exit(2)
+	}
 	coverage.SetDefaultEngine(eng)
 	coverage.SetDefaultWorkers(*workers)
 	coverage.SetCollapse(*collapse)
+	coverage.SetDefaultDrop(*drop)
+	if *session {
+		// Session lines go to stdout only in text mode; the csv/json
+		// streams stay machine-readable, so the report moves to stderr.
+		sessionOut := os.Stdout
+		if *format != "text" {
+			sessionOut = os.Stderr
+		}
+		coverage.SetSessionObserver(func(p *coverage.Plan, s *coverage.Session) {
+			fmt.Fprintf(sessionOut, "# session %s [%s]: %s — cumulative %s\n",
+				p.Universe.Name, eng, s.FormatStages(),
+				report.Percent(s.Cumulative.Detected, s.Cumulative.Total))
+		})
+	}
 
 	effWorkers := *workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
 	}
-	if !*csv {
-		fmt.Printf("# engine=%s workers=%d collapse=%v\n\n", eng, effWorkers, *collapse)
+	if *format == "text" {
+		fmt.Printf("# engine=%s workers=%d collapse=%v drop=%v\n\n", eng, effWorkers, *collapse, *drop)
 	}
 
 	id := strings.ToLower(*exp)
@@ -117,11 +155,16 @@ func main() {
 		tables = append(tables, f())
 	}
 	for _, t := range tables {
-		if *csv {
+		switch *format {
+		case "csv":
 			t.CSV(os.Stdout)
-		} else {
+		case "json":
+			t.JSONL(os.Stdout)
+		default:
 			t.Render(os.Stdout)
 		}
-		fmt.Println()
+		if *format != "json" {
+			fmt.Println()
+		}
 	}
 }

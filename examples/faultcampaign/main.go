@@ -10,6 +10,13 @@
 // allocation-free over per-worker arenas with fault collapsing.  All
 // three produce identical results and are benchmarked here side by
 // side, with per-engine faults/s.
+//
+// Finally it runs the same comparison as one campaign *session*
+// (coverage.Plan) with cross-test fault dropping: the cheapest test
+// runs first and every fault it detects is dropped from the remaining
+// tests, so the session simulates a shrinking survivor set instead of
+// re-simulating the full universe per algorithm — the structure behind
+// BenchmarkSession's ≥3× speedup over back-to-back campaigns.
 package main
 
 import (
@@ -102,4 +109,42 @@ func main() {
 			fmt.Sprintf("%.0f", float64(r.Total)/el.Seconds()))
 	}
 	e.Render(os.Stdout)
+
+	// Campaign session with cross-test fault dropping: the same March
+	// baselines over the big universe, cheapest test first, each fault
+	// simulated only until some test detects it.  Per-stage survivor
+	// counts show the universe collapsing test by test; the cumulative
+	// row is byte-identical to what undropped runs would accumulate.
+	fmt.Println()
+	plan := coverage.Plan{
+		Name: "march-session",
+		Runners: []coverage.Runner{
+			coverage.MarchRunner(march.MATSPlus(), nil),
+			coverage.MarchRunner(march.MarchX(), nil),
+			coverage.MarchRunner(march.MarchCMinus(), nil),
+			coverage.MarchRunner(march.MarchB(), nil),
+		},
+		Universe: bigU,
+		Memory:   bigMk,
+		Drop:     true,
+		Order:    coverage.OrderCheapestFirst,
+		Cache:    coverage.SharedProgramCache(),
+	}
+	start := time.Now()
+	session := plan.Run()
+	el := time.Since(start)
+	s := report.New(
+		fmt.Sprintf("campaign session — fault dropping, cheapest-first, n=%d, %d faults, %s",
+			bigN, bigU.Len(), el.Round(time.Millisecond)),
+		"stage", "entered", "newly detected", "survivors")
+	for _, st := range session.Stages {
+		s.AddRowf(st.Runner,
+			fmt.Sprintf("%d", st.Entered),
+			fmt.Sprintf("%d", st.Detected),
+			fmt.Sprintf("%d", st.Survivors))
+	}
+	s.AddRowf("cumulative", fmt.Sprintf("%d", session.Cumulative.Total), "",
+		fmt.Sprintf("%d (%s)", session.Cumulative.Total-session.Cumulative.Detected,
+			report.Percent(session.Cumulative.Detected, session.Cumulative.Total)))
+	s.Render(os.Stdout)
 }

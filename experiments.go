@@ -117,10 +117,14 @@ func ExperimentSingleCell(n int) *report.Table {
 		faults = append(faults, fault.StuckOpenUniverse(n)...)
 		faults = append(faults, fault.DecoderUniverse(n)...)
 		u := fault.Universe{Name: "single-cell", Faults: faults}
+		// One campaign session per geometry: the four truncations share
+		// the universe, so the session layer can drop cross-test.
+		runners := make([]coverage.Runner, 4)
 		for it := 1; it <= 4; it++ {
-			s := prt.StandardScheme4(g.gen).Truncate(it)
-			res := coverage.Campaign(coverage.PRTRunner(s), u, g.mk, 0)
-			t.AddRowf(g.label, fmt.Sprintf("%d", it),
+			runners[it-1] = coverage.PRTRunner(prt.StandardScheme4(g.gen).Truncate(it))
+		}
+		for it, res := range coverage.Compare(runners, u, g.mk, 0) {
+			t.AddRowf(g.label, fmt.Sprintf("%d", it+1),
 				report.Percent(res.ByClass[fault.ClassSAF].Detected, res.ByClass[fault.ClassSAF].Total),
 				report.Percent(res.ByClass[fault.ClassTF].Detected, res.ByClass[fault.ClassTF].Total),
 				report.Percent(res.ByClass[fault.ClassSOF].Detected, res.ByClass[fault.ClassSOF].Total),
@@ -143,20 +147,28 @@ func ExperimentCoupling(n int) *report.Table {
 	pairs = append(pairs, fault.SamplePairs(n, 4, 20, 7)...)
 	u := fault.Universe{Name: "coupling", Faults: fault.CouplingUniverse(pairs)}
 	mk := func() ram.Memory { return ram.NewWOM(n, 4) }
-	addRow := func(name string, iters int, s prt.Scheme) {
-		res := coverage.Campaign(coverage.PRTRunner(s), u, mk, 0)
-		t.AddRowf(name, fmt.Sprintf("%d", iters),
+	// All seven schemes ride one session over the shared universe.
+	type row struct {
+		name  string
+		iters int
+	}
+	var rows []row
+	var runners []coverage.Runner
+	for it := 1; it <= 4; it++ {
+		rows = append(rows, row{"PRT", it})
+		runners = append(runners, coverage.PRTRunner(prt.StandardScheme4(gen).Truncate(it)))
+	}
+	for _, blocks := range []int{2, 3, 4} {
+		rows = append(rows, row{fmt.Sprintf("PRT-x%d", blocks), 4 * blocks})
+		runners = append(runners, coverage.PRTRunner(prt.ExtendedScheme(gen, blocks)))
+	}
+	for i, res := range coverage.Compare(runners, u, mk, 0) {
+		t.AddRowf(rows[i].name, fmt.Sprintf("%d", rows[i].iters),
 			report.Percent(res.ByClass[fault.ClassCFin].Detected, res.ByClass[fault.ClassCFin].Total),
 			report.Percent(res.ByClass[fault.ClassCFid].Detected, res.ByClass[fault.ClassCFid].Total),
 			report.Percent(res.ByClass[fault.ClassCFst].Detected, res.ByClass[fault.ClassCFst].Total),
 			report.Percent(res.ByClass[fault.ClassBF].Detected, res.ByClass[fault.ClassBF].Total),
 			report.Percent(res.Detected, res.Total))
-	}
-	for it := 1; it <= 4; it++ {
-		addRow("PRT", it, prt.StandardScheme4(gen).Truncate(it))
-	}
-	for _, blocks := range []int{2, 3, 4} {
-		addRow(fmt.Sprintf("PRT-x%d", blocks), 4*blocks, prt.ExtendedScheme(gen, blocks))
 	}
 	return t
 }
@@ -200,8 +212,7 @@ func ExperimentPRTvsMarch(n, m int) *report.Table {
 	opsPerCell["PRT-4"] = prt.StandardScheme4(gen).OpsPerCell()
 	opsPerCell["PRT-x2"] = prt.ExtendedScheme(gen, 2).OpsPerCell()
 
-	for _, r := range append(runners, prtRunners...) {
-		res := coverage.Campaign(r, u, mk, 0)
+	for _, res := range coverage.Compare(append(runners, prtRunners...), u, mk, 0) {
 		cfDet, cfTot := coverage.Sum(res.ByClass,
 			fault.ClassCFin, fault.ClassCFid, fault.ClassCFst, fault.ClassBF, fault.ClassIWCF)
 		t.AddRowf(res.Runner,
@@ -277,20 +288,24 @@ func ExperimentIntraWord(n, m int) *report.Table {
 		"scheme", "iters", "IWCF coverage")
 	u := fault.Universe{Name: "intra-word", Faults: fault.IntraWordUniverse(n, m)}
 	mk := func() ram.Memory { return ram.NewWOM(n, m) }
+	// Eleven runners, one universe, one session.
+	var runners []coverage.Runner
+	var iterLabels []string
 	for _, mode := range []prt.LaneMode{prt.ParallelLanes, prt.RandomLanes} {
 		for _, iters := range []int{1, 3, 6, 8} {
-			r := coverage.BitSlicedRunner(
+			runners = append(runners, coverage.BitSlicedRunner(
 				fmt.Sprintf("bit-sliced/%v", mode),
-				prt.BitSlicedScheme(m, mode, iters))
-			res := coverage.Campaign(r, u, mk, 0)
-			t.AddRowf(res.Runner, fmt.Sprintf("%d", iters),
-				report.Percent(res.Detected, res.Total))
+				prt.BitSlicedScheme(m, mode, iters)))
+			iterLabels = append(iterLabels, fmt.Sprintf("%d", iters))
 		}
 	}
 	gen := prt.PaperWOMConfig().Gen
 	for _, blocks := range []int{1, 2, 4} {
-		res := coverage.Campaign(coverage.PRTRunner(prt.ExtendedScheme(gen, blocks)), u, mk, 0)
-		t.AddRowf(res.Runner, fmt.Sprintf("%d", 4*blocks),
+		runners = append(runners, coverage.PRTRunner(prt.ExtendedScheme(gen, blocks)))
+		iterLabels = append(iterLabels, fmt.Sprintf("%d", 4*blocks))
+	}
+	for i, res := range coverage.Compare(runners, u, mk, 0) {
+		t.AddRowf(res.Runner, iterLabels[i],
 			report.Percent(res.Detected, res.Total))
 	}
 	return t
@@ -307,9 +322,16 @@ func ExperimentQualityFactors(n int) *report.Table {
 	mk := func() ram.Memory { return ram.NewBOM(n) }
 	f1 := gf.NewField(1)
 
+	// The factor grid shares one universe: collect every variant and
+	// run them as one session (names collide across settings — "PRT-3/
+	// sig" appears nine times — which is exactly why the program cache
+	// keys on configuration, not name).
+	type variant struct{ factor, setting string }
+	var labels []variant
+	var runners []coverage.Runner
 	run := func(factor, setting string, s prt.Scheme) {
-		res := coverage.Campaign(coverage.PRTRunner(s.SignatureOnly()), u, mk, 0)
-		t.AddRowf(factor, setting, report.Percent(res.Detected, res.Total))
+		labels = append(labels, variant{factor, setting})
+		runners = append(runners, coverage.PRTRunner(s.SignatureOnly()))
 	}
 	// Factor 1: polynomial structure.  (Ordered slices, not maps — the
 	// table row order must be deterministic across runs.)
@@ -356,6 +378,9 @@ func ExperimentQualityFactors(n int) *report.Table {
 		it0.PermSeed = 11
 		s.Iters[0] = it0
 		run("trajectory", e.name, s)
+	}
+	for i, res := range coverage.Compare(runners, u, mk, 0) {
+		t.AddRowf(labels[i].factor, labels[i].setting, report.Percent(res.Detected, res.Total))
 	}
 	return t
 }
@@ -405,9 +430,11 @@ func ExperimentNPSF(n, width int) *report.Table {
 		coverage.PRTRunner(prt.StandardScheme3(gen)),
 		coverage.PRTRunner(prt.ExtendedScheme(gen, 3)),
 	}
-	for _, r := range runners {
-		rs := coverage.Campaign(r, snpsf, mk, 0)
-		ra := coverage.Campaign(r, anpsf, mk, 0)
+	// One session per universe; rows zip the two.
+	resS := coverage.Compare(runners, snpsf, mk, 0)
+	resA := coverage.Compare(runners, anpsf, mk, 0)
+	for i := range runners {
+		rs, ra := resS[i], resA[i]
 		t.AddRowf(rs.Runner,
 			report.Percent(rs.Detected, rs.Total),
 			report.Percent(ra.Detected, ra.Total),
@@ -434,11 +461,10 @@ func ExperimentRetention(n int) *report.Table {
 			Name:   "drf",
 			Faults: fault.RetentionUniverse(n, 4, delay),
 		}
-		a := coverage.Campaign(prtR, u, mk, 0)
-		b := coverage.Campaign(marchR, u, mk, 0)
+		rs := coverage.Compare([]coverage.Runner{prtR, marchR}, u, mk, 0)
 		t.AddRowf(fmt.Sprintf("%d", delay),
-			report.Percent(a.Detected, a.Total),
-			report.Percent(b.Detected, b.Total))
+			report.Percent(rs[0].Detected, rs[0].Total),
+			report.Percent(rs[1].Detected, rs[1].Total))
 	}
 	return t
 }
@@ -488,14 +514,14 @@ func ExperimentMISR(n int) *report.Table {
 	u := fault.Universe{Name: "single", Faults: fault.SingleCellUniverse(n, 4)}
 	mk := func() ram.Memory { return ram.NewWOM(n, 4) }
 
-	exact := coverage.Campaign(coverage.PRTRunner(prt.PaperWOMScheme3()), u, mk, 0)
-	t.AddRowf("exact comparator", report.Percent(exact.Detected, exact.Total))
-
-	misr := coverage.Campaign(misrCompressedRunner{n: n}, u, mk, 0)
-	t.AddRowf("MISR-compressed", report.Percent(misr.Detected, misr.Total))
-
-	ctl := coverage.Campaign(coverage.BISTRunner(prt.PaperWOMScheme3(), 0), u, mk, 0)
-	t.AddRowf("BIST controller (compressed)", report.Percent(ctl.Detected, ctl.Total))
+	rs := coverage.Compare([]coverage.Runner{
+		coverage.PRTRunner(prt.PaperWOMScheme3()),
+		misrCompressedRunner{n: n},
+		coverage.BISTRunner(prt.PaperWOMScheme3(), 0),
+	}, u, mk, 0)
+	t.AddRowf("exact comparator", report.Percent(rs[0].Detected, rs[0].Total))
+	t.AddRowf("MISR-compressed", report.Percent(rs[1].Detected, rs[1].Total))
+	t.AddRowf("BIST controller (compressed)", report.Percent(rs[2].Detected, rs[2].Total))
 	return t
 }
 
@@ -512,6 +538,12 @@ func (misrCompressedRunner) Name() string { return "PRT-3/misr" }
 // replay engines reproduce the compressed detection — aliasing
 // included — exactly.
 func (misrCompressedRunner) ReplaySafe() {}
+
+// TraceKey implements coverage.TraceKeyer: n is the runner's entire
+// configuration.
+func (r misrCompressedRunner) TraceKey() string {
+	return fmt.Sprintf("misr-compressed:n=%d", r.n)
+}
 
 func (r misrCompressedRunner) Run(mem ram.Memory) (bool, uint64) {
 	gen := prt.PaperWOMConfig().Gen
@@ -574,9 +606,23 @@ func ExperimentMISRAliasing(sizes, widths []int) *report.Table {
 		pairs = append(pairs, fault.SamplePairs(n, 1, 48, 5)...)
 		u := fault.Universe{Name: "coupling", Faults: fault.CouplingUniverse(pairs)}
 		mk := func() ram.Memory { return ram.NewBOM(n) }
-		exact := coverage.Campaign(sisrRunner{exact: true}, u, mk, 0)
+		// One session per size: the exact comparator and every register
+		// width observe the same universe.  Dropping is pinned off (not
+		// Compare's global default): the escape rate below subtracts
+		// sisr.Detected from exact.Detected, which is only meaningful
+		// when every runner sees the full universe unconditionally.
+		runners := []coverage.Runner{sisrRunner{exact: true}}
 		for _, w := range widths {
-			sisr := coverage.Campaign(sisrRunner{w: w}, u, mk, 0)
+			runners = append(runners, sisrRunner{w: w})
+		}
+		p := coverage.Plan{
+			Runners: runners, Universe: u, Memory: mk,
+			Engine: coverage.DefaultEngine(), Cache: coverage.SharedProgramCache(),
+		}
+		rs := p.Run().Results
+		exact := rs[0]
+		for i, w := range widths {
+			sisr := rs[i+1]
 			escaped := exact.Detected - sisr.Detected
 			observed := 0.0
 			if exact.Detected > 0 {
@@ -617,6 +663,12 @@ func (r sisrRunner) Name() string {
 
 // ReplaySafe implements coverage.ReplaySafe.
 func (sisrRunner) ReplaySafe() {}
+
+// TraceKey implements coverage.TraceKeyer: the mode and register width
+// are the runner's entire configuration.
+func (r sisrRunner) TraceKey() string {
+	return fmt.Sprintf("sisr:w=%d,exact=%t", r.w, r.exact)
+}
 
 func (r sisrRunner) Run(mem ram.Memory) (bool, uint64) {
 	cfg := prt.PaperBOMConfig()

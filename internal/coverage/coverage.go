@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/bist"
@@ -17,7 +17,6 @@ import (
 	"repro/internal/march"
 	"repro/internal/prt"
 	"repro/internal/ram"
-	"repro/internal/sim"
 )
 
 // Runner is a memory test algorithm under evaluation.
@@ -215,132 +214,12 @@ func Campaign(r Runner, u fault.Universe, mk MemoryFactory, workers int) Result 
 	return CampaignEngine(r, u, mk, workers, DefaultEngine())
 }
 
-// CampaignEngine is Campaign with an explicit engine choice.
+// CampaignEngine is Campaign with an explicit engine choice.  It is a
+// single-stage session: the planner/executor in session.go is the one
+// campaign code path, whether one runner or many execute.
 func CampaignEngine(r Runner, u fault.Universe, mk MemoryFactory, workers int, engine Engine) Result {
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	res := Result{
-		Runner:   r.Name(),
-		Universe: u.Name,
-		Total:    len(u.Faults),
-		ByClass:  make(map[fault.Class]ClassStat),
-	}
-	// Clean baseline; under the replay engines this one run also
-	// records the replay trace.
-	var detected []bool
-	_, replaySafe := r.(ReplaySafe)
-	if engine != EngineOracle && replaySafe && sim.Batchable(u.Faults) {
-		tr, cleanDetected, cleanOps := sim.Record(mk(), r.Run)
-		res.OpsCleanRun = cleanOps
-		res.FalsePositive = cleanDetected
-		// A false-positive clean run breaks the checked-read criterion
-		// (clean values no longer equal the algorithm's expectations):
-		// keep the oracle semantics instead.
-		if !cleanDetected && tr.Replayable() {
-			d, stats, err := replayDetect(tr, u, workers, engine)
-			if err != nil {
-				// Both non-batchable faults and non-replayable traces
-				// were pre-checked, so an error here is a broken
-				// invariant in the engine — failing loudly beats
-				// silently delivering correct-but-slow oracle results
-				// under a fast-path label.
-				panic(fmt.Sprintf("coverage: %s replay of %s on %s: %v", engine, r.Name(), u.Name, err))
-			}
-			detected, res.Stats = d, stats
-		}
-	} else {
-		cleanDetected, cleanOps := r.Run(mk())
-		res.OpsCleanRun = cleanOps
-		res.FalsePositive = cleanDetected
-	}
-	if detected == nil {
-		var w int
-		detected, w = oracleDetect(r, u, mk, workers)
-		res.Stats = &EngineStats{Engine: EngineOracle, Workers: w, Reps: len(u.Faults)}
-	}
-
-	for i, f := range u.Faults {
-		cs := res.ByClass[f.Class()]
-		cs.Total++
-		if detected[i] {
-			cs.Detected++
-			res.Detected++
-		}
-		res.ByClass[f.Class()] = cs
-	}
-	return res
-}
-
-// replayDetect runs the selected replay fast path over the universe.
-// The compiled engine lowers the trace once, optionally collapses the
-// universe to equivalence-class representatives, replays them over
-// per-worker arenas, and expands the representatives' results back to
-// the full universe.
-func replayDetect(tr *sim.Trace, u fault.Universe, workers int, engine Engine) ([]bool, *EngineStats, error) {
-	if engine == EngineBitParallel {
-		d, w, err := sim.Shards(tr, u.Faults, workers)
-		if err != nil {
-			return nil, nil, err
-		}
-		return d, &EngineStats{Engine: engine, Workers: w, Reps: len(u.Faults)}, nil
-	}
-	prog, err := sim.Compile(tr)
-	if err != nil {
-		return nil, nil, err
-	}
-	faults := u.Faults
-	var col fault.Collapsed
-	collapsed := CollapseEnabled()
-	if collapsed {
-		sum := prog.Summary()
-		col = fault.Collapse(u.Faults, &sum)
-		faults = col.Reps
-	}
-	d, w, err := sim.ShardsCompiled(prog, faults, workers)
-	if err != nil {
-		return nil, nil, err
-	}
-	if collapsed {
-		d = col.Expand(d) // representative results back onto the universe
-	}
-	return d, &EngineStats{
-		Engine:     EngineCompiled,
-		Workers:    w,
-		Reps:       len(faults),
-		ProgramOps: prog.Ops(),
-		TrimmedOps: prog.TrimmedOps(),
-	}, nil
-}
-
-// oracleDetect is the reference path: one full algorithm run per
-// injected fault, distributed over workers with an atomic cursor (no
-// producer goroutine or channel hand-off contention on large
-// universes).  It also returns the effective worker count.
-func oracleDetect(r Runner, u fault.Universe, mk MemoryFactory, workers int) ([]bool, int) {
-	detected := make([]bool, len(u.Faults))
-	if workers > len(u.Faults) {
-		workers = len(u.Faults)
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				idx := int(cursor.Add(1)) - 1
-				if idx >= len(u.Faults) {
-					return
-				}
-				mem := u.Faults[idx].Inject(mk())
-				d, _ := r.Run(mem)
-				detected[idx] = d
-			}
-		}()
-	}
-	wg.Wait()
-	return detected, workers
+	p := Plan{Runners: []Runner{r}, Universe: u, Memory: mk, Workers: workers, Engine: engine}
+	return p.Run().Results[0]
 }
 
 // Sum aggregates the detected/total counts over several fault classes.
@@ -353,16 +232,43 @@ func Sum(byClass map[fault.Class]ClassStat, classes ...fault.Class) (detected, t
 	return detected, total
 }
 
-// Compare runs several algorithms over the same universe.
+// Compare runs several algorithms over the same universe as one
+// campaign session on the default engine, sharing the process-wide
+// program cache, and returns the per-runner results in runner order.
+// With the default settings every Result is byte-identical to an
+// independent Campaign; SetDefaultDrop(true) (the faultcov -drop flag)
+// enables cross-test fault dropping, after which each Result covers
+// the faults the preceding runners left undetected.
 func Compare(runners []Runner, u fault.Universe, mk MemoryFactory, workers int) []Result {
-	out := make([]Result, len(runners))
-	for i, r := range runners {
-		out[i] = Campaign(r, u, mk, workers)
+	p := Plan{
+		Runners:  runners,
+		Universe: u,
+		Memory:   mk,
+		Workers:  workers,
+		Engine:   DefaultEngine(),
+		Drop:     DefaultDrop(),
+		Cache:    SharedProgramCache(),
 	}
-	return out
+	return p.Run().Results
 }
 
 // --- runner adapters ---
+
+// schemeTraceKey serialises a PRT scheme's full configuration for the
+// program cache.  The display name is deliberately excluded: distinct
+// configurations share names (E10's factor grid all run "PRT-3/sig"),
+// and identically-configured schemes under different names record the
+// same trace.
+func schemeTraceKey(b *strings.Builder, s prt.Scheme) {
+	for _, c := range s.Iters {
+		if c.Gen.Field != nil {
+			fmt.Fprintf(b, "g{%v|%v}", c.Gen.Field.Modulus(), c.Gen.Coeffs)
+		}
+		fmt.Fprintf(b, "s%v q%d t%d p%d r%t v%t cs%t se%v m%d;",
+			c.Seed, c.Offset, int(c.Trajectory), c.PermSeed,
+			c.Ring, c.Verify, c.CaptureStale, c.StaleExpect, c.MirrorOf)
+	}
+}
 
 type marchRunner struct {
 	test        march.Test
@@ -384,6 +290,12 @@ func (m marchRunner) Name() string { return m.test.Name }
 // every read is compared against its expected background value.
 func (marchRunner) ReplaySafe() {}
 
+// TraceKey implements TraceKeyer: the van de Goor notation plus the
+// background set fully determines a March test's operation schedule.
+func (m marchRunner) TraceKey() string {
+	return fmt.Sprintf("march:%s|bg=%v", m.test, m.backgrounds)
+}
+
 func (m marchRunner) Run(mem ram.Memory) (bool, uint64) {
 	r := march.RunBackgrounds(m.test, mem, m.backgrounds)
 	return r.Detected, r.Ops
@@ -401,6 +313,14 @@ func (p prtRunner) Name() string { return p.scheme.Name }
 // (signature, stale capture, verify) compares reads against fault-free
 // predictions.
 func (prtRunner) ReplaySafe() {}
+
+// TraceKey implements TraceKeyer over the scheme's full configuration.
+func (p prtRunner) TraceKey() string {
+	var b strings.Builder
+	b.WriteString("prt:")
+	schemeTraceKey(&b, p.scheme)
+	return b.String()
+}
 
 func (p prtRunner) Run(mem ram.Memory) (bool, uint64) {
 	r, err := p.scheme.Run(mem)
@@ -426,6 +346,20 @@ func (b bitSlicedRunner) Name() string { return b.name }
 // bit-diagonal linear maps and detection compares Fin and read-back
 // values against per-lane predictions.
 func (bitSlicedRunner) ReplaySafe() {}
+
+// TraceKey implements TraceKeyer over the lane configurations.
+func (b bitSlicedRunner) TraceKey() string {
+	var sb strings.Builder
+	sb.WriteString("bitsliced:")
+	for _, c := range b.cfgs {
+		if c.Gen.Field != nil {
+			fmt.Fprintf(&sb, "g{%v|%v}", c.Gen.Field.Modulus(), c.Gen.Coeffs)
+		}
+		fmt.Fprintf(&sb, "m%d mode%d ls%d t%d p%d v%t;",
+			c.M, int(c.Mode), c.LaneSeedSeed, int(c.Trajectory), c.PermSeed, c.Verify)
+	}
+	return sb.String()
+}
 
 func (b bitSlicedRunner) Run(mem ram.Memory) (bool, uint64) {
 	r, err := prt.RunBitSlicedScheme(b.cfgs, mem)
@@ -458,6 +392,14 @@ func (b bistRunner) Name() string { return b.s.Name + "/bist" }
 // reproduces the compressed detection — aliased multi-error patterns
 // included — bit-exactly.
 func (bistRunner) ReplaySafe() {}
+
+// TraceKey implements TraceKeyer over the scheme and MISR multiplier.
+func (b bistRunner) TraceKey() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bist:a%d:", b.alpha)
+	schemeTraceKey(&sb, b.s)
+	return sb.String()
+}
 
 func (b bistRunner) Run(mem ram.Memory) (bool, uint64) {
 	pass, cycles, err := bist.RunAllCompressed(b.s, mem, b.alpha)

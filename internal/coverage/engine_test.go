@@ -77,8 +77,18 @@ func womUniverses(n, m int) []fault.Universe {
 	}
 }
 
+// equivalenceSizes shrinks the universe sweep under -short (the -race
+// CI job runs these packages with shortened universes).
+func equivalenceSizes(sizes []int, t *testing.T) []int {
+	t.Helper()
+	if testing.Short() {
+		return sizes[:1]
+	}
+	return sizes
+}
+
 func TestEngineEquivalenceMarch(t *testing.T) {
-	for _, n := range []int{16, 33, 48} {
+	for _, n := range equivalenceSizes([]int{16, 33, 48}, t) {
 		for _, u := range womUniverses(n, 4) {
 			r := MarchRunner(march.MarchCMinus(), march.DataBackgrounds(4))
 			assertEngineEquivalence(t, r, u, womFactory(n, 4))
@@ -94,7 +104,7 @@ func TestEngineEquivalencePRT(t *testing.T) {
 	ringCfg := prt.PaperWOMConfig()
 	ringCfg.Ring = true
 	ringCfg.Verify = true
-	for _, n := range []int{17, 33, 48} {
+	for _, n := range equivalenceSizes([]int{17, 33, 48}, t) {
 		for _, s := range []prt.Scheme{
 			prt.StandardScheme3(gen),
 			prt.StandardScheme3(gen).SignatureOnly(),

@@ -1,0 +1,470 @@
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// This file is the campaign session layer: Plan describes an ordered
+// set of test algorithms over one fault universe and memory factory;
+// Run executes it as a pipeline.  The layering replaces "one runner ×
+// one universe, stateless" with the structure comparative experiments
+// actually have — several tests over the same universe — and exploits
+// it three ways:
+//
+//   - cross-test fault dropping (Plan.Drop): once a fault is detected
+//     by one test of the session it is dropped from the remaining
+//     tests, which replay only the survivor subset through an index
+//     view of the fault slice (fault.View).  Dropping is
+//     verdict-preserving: a fault that IS simulated by a stage gets
+//     exactly the verdict an independent campaign would give it
+//     (verdicts are unconditional properties of the (runner, fault)
+//     pair), and the session-level cumulative result is byte-identical
+//     with dropping on or off.  What changes is bookkeeping: a
+//     dropped-mode stage's Result covers only the faults presented to
+//     it.
+//
+//   - cheapest-trace-first ordering (OrderCheapestFirst): stages run in
+//     ascending clean-run length, so cheap tests pay for the easy kills
+//     before expensive tests see the universe.
+//
+//   - a compiled-program cache (sim.ProgramCache): recording and
+//     compiling a runner's trace is keyed by (runner identity, memory
+//     geometry, initial image) and shared across sessions, so repeated
+//     sweeps compile each trace once.  Runners opt in via TraceKeyer.
+
+// Order selects the stage execution order of a session.
+type Order int
+
+const (
+	// OrderAsGiven runs the stages in Plan.Runners order.
+	OrderAsGiven Order = iota
+	// OrderCheapestFirst runs stages in ascending clean-run operation
+	// count (stable for ties) — the classic fault-dropping schedule:
+	// cheap tests drop the easy faults before expensive tests run.
+	OrderCheapestFirst
+)
+
+// Verdict is one stage's outcome for one universe fault.
+type Verdict uint8
+
+const (
+	// VerdictUndetected: the stage simulated the fault and missed it.
+	VerdictUndetected Verdict = iota
+	// VerdictDetected: the stage simulated the fault and caught it.
+	VerdictDetected
+	// VerdictDropped: an earlier stage had already detected the fault,
+	// so this stage never simulated it (Plan.Drop only).
+	VerdictDropped
+)
+
+// TraceKeyer lets a runner opt in to the cross-session program cache.
+// The key must uniquely determine the operation schedule and replay
+// annotations the runner produces on any memory of a given geometry
+// and initial image.  A display name is NOT enough: distinct
+// configurations (E10's factor grid) share names, so implementations
+// must serialise the full configuration.  Runners without the
+// interface are recorded and compiled fresh each session — always
+// correct, never cached.
+type TraceKeyer interface {
+	Runner
+	// TraceKey returns the configuration-complete identity string.
+	TraceKey() string
+}
+
+// Plan describes a campaign session.  The zero values give the default
+// pipeline: compiled engine, no dropping, given order, no caching.
+type Plan struct {
+	// Name labels the session's cumulative result ("session" when
+	// empty).
+	Name string
+	// Runners are the test algorithms, in presentation order:
+	// Session.Results is always index-aligned with this slice whatever
+	// the execution order.
+	Runners []Runner
+	// Universe is the shared fault universe.
+	Universe fault.Universe
+	// Memory builds a fresh fault-free memory per trial.
+	Memory MemoryFactory
+	// Workers caps the campaign goroutines (<= 0 means the package
+	// default).
+	Workers int
+	// Engine selects the execution strategy for every stage (with the
+	// usual per-stage oracle fallback for non-replayable runners).
+	Engine Engine
+	// Drop enables cross-test fault dropping; see the package comment
+	// for the exact semantics.
+	Drop bool
+	// Order selects the stage execution order.
+	Order Order
+	// KeepVectors retains a per-runner verdict vector over the full
+	// universe (Session.Vectors) — the property tests' view of exactly
+	// what each stage simulated and decided.
+	KeepVectors bool
+	// Cache, when non-nil, memoizes compiled programs across sessions
+	// for runners implementing TraceKeyer.  SharedProgramCache() is the
+	// process-wide instance the CLI and benchmarks use.
+	Cache *sim.ProgramCache
+}
+
+// StageStat reports one executed stage, in execution order.
+type StageStat struct {
+	// Runner is the stage's display name; RunnerIndex its position in
+	// Plan.Runners (and so in Session.Results).
+	Runner      string
+	RunnerIndex int
+	// Entered is the number of faults presented to the stage (the
+	// survivor count when dropping; the full universe otherwise).
+	Entered int
+	// Detected is the number of presented faults the stage caught.
+	Detected int
+	// Survivors is the cumulative number of universe faults no stage
+	// has detected yet, after this stage — the session-ordered coverage
+	// progression (and, when dropping, the next stage's Entered).
+	Survivors int
+	// CacheHit reports that the stage's compiled program came from the
+	// program cache (no recording or compilation happened).
+	CacheHit bool
+	// Stats is the stage's engine execution report.
+	Stats *EngineStats
+}
+
+// Session is an executed Plan.
+type Session struct {
+	// Results holds one campaign Result per runner, index-aligned with
+	// Plan.Runners.  Without dropping each is byte-identical to an
+	// independent CampaignEngine run (the session property tests
+	// enforce it); with dropping a stage's Result covers the faults
+	// presented to it.
+	Results []Result
+	// Cumulative is the session-level result: a fault counts as
+	// detected when at least one stage detected it.  It is identical
+	// with dropping on or off.  OpsCleanRun totals the stages' clean
+	// runs (the session's total test length).
+	Cumulative Result
+	// Stages reports the executed stages in execution order.
+	Stages []StageStat
+	// Vectors (KeepVectors only) holds per-runner verdicts over the
+	// full universe, index-aligned with Plan.Runners.
+	Vectors [][]Verdict
+}
+
+// defaultDrop is the Drop value Compare-built sessions use (the CLI's
+// -drop flag); the zero value keeps sessions undropped.
+var defaultDrop atomic.Bool
+
+// SetDefaultDrop toggles cross-test fault dropping for Compare-built
+// sessions.
+func SetDefaultDrop(on bool) { defaultDrop.Store(on) }
+
+// DefaultDrop reports whether Compare-built sessions drop.
+func DefaultDrop() bool { return defaultDrop.Load() }
+
+// sharedCache is the process-wide program cache.
+var sharedCache = sim.NewProgramCache()
+
+// SharedProgramCache returns the process-wide compiled-program cache
+// used by Compare (and anything else that opts in via Plan.Cache).
+func SharedProgramCache() *sim.ProgramCache { return sharedCache }
+
+// sessionObserver, when set, receives every executed multi-runner
+// session — the CLI hook behind faultcov -session.
+var sessionObserver struct {
+	mu sync.RWMutex
+	fn func(*Plan, *Session)
+}
+
+// SetSessionObserver installs a callback invoked after every session
+// of two or more runners completes (nil uninstalls).  It is a
+// reporting hook for CLIs; the callback must not mutate the session.
+func SetSessionObserver(fn func(*Plan, *Session)) {
+	sessionObserver.mu.Lock()
+	sessionObserver.fn = fn
+	sessionObserver.mu.Unlock()
+}
+
+// stage is one runner's prepared execution state.
+type stage struct {
+	runner        Runner
+	index         int
+	cleanOps      uint64
+	falsePositive bool
+	prog          *sim.Program // compiled fast path
+	tr            *sim.Trace   // bit-parallel fast path
+	cacheHit      bool
+}
+
+// Run executes the session.
+func (p *Plan) Run() *Session {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	nFaults := len(p.Universe.Faults)
+	batchable := sim.Batchable(p.Universe.Faults)
+
+	// Plan: one clean run (or cache hit) per runner, so the executor
+	// knows every stage's trace, program and cost before ordering.
+	stages := make([]*stage, len(p.Runners))
+	for i, r := range p.Runners {
+		stages[i] = p.prepareStage(r, i, batchable)
+	}
+	order := make([]*stage, len(stages))
+	copy(order, stages)
+	if p.Order == OrderCheapestFirst {
+		sort.SliceStable(order, func(a, b int) bool { return order[a].cleanOps < order[b].cleanOps })
+	}
+
+	s := &Session{Results: make([]Result, len(p.Runners))}
+	if p.KeepVectors {
+		s.Vectors = make([][]Verdict, len(p.Runners))
+	}
+	cum := make([]bool, nFaults)
+	cumDetected := 0
+	arenas := &sim.ArenaPool{}
+	survivors := fault.Span(p.Universe.Faults)
+	for _, st := range order {
+		view := fault.Span(p.Universe.Faults)
+		if p.Drop {
+			view = survivors
+		}
+		det, stats := p.detect(st, view, workers, arenas)
+		res := Result{
+			Runner:        st.runner.Name(),
+			Universe:      p.Universe.Name,
+			Total:         view.Len(),
+			ByClass:       make(map[fault.Class]ClassStat),
+			OpsCleanRun:   st.cleanOps,
+			FalsePositive: st.falsePositive,
+			Stats:         stats,
+		}
+		for i := 0; i < view.Len(); i++ {
+			cs := res.ByClass[view.At(i).Class()]
+			cs.Total++
+			if det[i] {
+				cs.Detected++
+				res.Detected++
+				if u := view.Index(i); !cum[u] {
+					cum[u] = true
+					cumDetected++
+				}
+			}
+			res.ByClass[view.At(i).Class()] = cs
+		}
+		s.Results[st.index] = res
+		if s.Vectors != nil {
+			vec := make([]Verdict, nFaults)
+			if view.Len() != nFaults {
+				for i := range vec {
+					vec[i] = VerdictDropped
+				}
+			}
+			for i := 0; i < view.Len(); i++ {
+				if det[i] {
+					vec[view.Index(i)] = VerdictDetected
+				} else {
+					vec[view.Index(i)] = VerdictUndetected
+				}
+			}
+			s.Vectors[st.index] = vec
+		}
+		s.Stages = append(s.Stages, StageStat{
+			Runner:      st.runner.Name(),
+			RunnerIndex: st.index,
+			Entered:     view.Len(),
+			Detected:    res.Detected,
+			Survivors:   nFaults - cumDetected,
+			CacheHit:    st.cacheHit,
+			Stats:       stats,
+		})
+		if p.Drop {
+			survivors = view.Where(func(i int) bool { return !det[i] })
+		}
+	}
+
+	// Session-level cumulative coverage.
+	name := p.Name
+	if name == "" {
+		name = "session"
+	}
+	cumRes := Result{
+		Runner:   name,
+		Universe: p.Universe.Name,
+		Total:    nFaults,
+		Detected: cumDetected,
+		ByClass:  make(map[fault.Class]ClassStat),
+	}
+	for i, f := range p.Universe.Faults {
+		cs := cumRes.ByClass[f.Class()]
+		cs.Total++
+		if cum[i] {
+			cs.Detected++
+		}
+		cumRes.ByClass[f.Class()] = cs
+	}
+	for _, st := range stages {
+		cumRes.OpsCleanRun += st.cleanOps
+		cumRes.FalsePositive = cumRes.FalsePositive || st.falsePositive
+	}
+	s.Cumulative = cumRes
+
+	if len(p.Runners) > 1 {
+		sessionObserver.mu.RLock()
+		fn := sessionObserver.fn
+		sessionObserver.mu.RUnlock()
+		if fn != nil {
+			fn(p, s)
+		}
+	}
+	return s
+}
+
+// prepareStage runs the clean baseline for one runner: under the
+// replay engines the run is recorded (and, for the compiled engine,
+// lowered to a program — or fetched from the cache without running at
+// all); otherwise it is a plain clean run.  A false-positive clean run
+// or a non-replayable trace leaves the stage on the oracle, exactly as
+// CampaignEngine always fell back.
+func (p *Plan) prepareStage(r Runner, index int, batchable bool) *stage {
+	st := &stage{runner: r, index: index}
+	_, replaySafe := r.(ReplaySafe)
+	if p.Engine == EngineOracle || !replaySafe || !batchable {
+		st.falsePositive, st.cleanOps = runClean(r, p.Memory)
+		return st
+	}
+	mem := p.Memory()
+	var key sim.ProgramKey
+	cached := false
+	if tk, ok := r.(TraceKeyer); ok && p.Cache != nil && p.Engine == EngineCompiled {
+		key = sim.ProgramKey{
+			Runner:   tk.TraceKey(),
+			Size:     mem.Size(),
+			Width:    mem.Width(),
+			InitHash: sim.InitHash(mem),
+		}
+		cached = true
+		if e, hit := p.Cache.Get(key); hit {
+			st.prog, st.cleanOps, st.cacheHit = e.Prog, e.CleanOps, true
+			return st
+		}
+	}
+	tr, cleanDetected, cleanOps := sim.Record(mem, r.Run)
+	st.cleanOps = cleanOps
+	st.falsePositive = cleanDetected
+	// A false-positive clean run breaks the checked-read criterion
+	// (clean values no longer equal the algorithm's expectations), and
+	// an unannotated trace has nothing to replay: both keep the oracle
+	// semantics.
+	if cleanDetected || !tr.Replayable() {
+		return st
+	}
+	if p.Engine == EngineBitParallel {
+		st.tr = tr
+		return st
+	}
+	prog, err := sim.Compile(tr)
+	if err != nil {
+		// Replayability was pre-checked, so an error here is a broken
+		// invariant in the engine — failing loudly beats silently
+		// delivering correct-but-slow oracle results under a fast-path
+		// label.
+		panic(fmt.Sprintf("coverage: compile of %s: %v", r.Name(), err))
+	}
+	st.prog = prog
+	if cached {
+		p.Cache.Put(key, &sim.CachedProgram{Prog: prog, CleanOps: cleanOps})
+	}
+	return st
+}
+
+// runClean measures the clean baseline for oracle-path stages.
+func runClean(r Runner, mk MemoryFactory) (falsePositive bool, ops uint64) {
+	detected, ops := r.Run(mk())
+	return detected, ops
+}
+
+// detect runs one stage over the view and returns per-view-position
+// verdicts plus the engine report.
+func (p *Plan) detect(st *stage, view fault.View, workers int, arenas *sim.ArenaPool) ([]bool, *EngineStats) {
+	switch {
+	case st.prog != nil:
+		v := view
+		var col fault.Collapsed
+		collapsed := CollapseEnabled()
+		if collapsed {
+			sum := st.prog.Summary()
+			col = fault.CollapseView(view, &sum)
+			v = fault.Span(col.Reps)
+		}
+		d, w, err := sim.ShardsCompiledView(st.prog, v, workers, arenas)
+		if err != nil {
+			panic(fmt.Sprintf("coverage: compiled replay of %s on %s: %v", st.runner.Name(), p.Universe.Name, err))
+		}
+		if collapsed {
+			d = col.Expand(d)
+		}
+		return d, &EngineStats{
+			Engine:     EngineCompiled,
+			Workers:    w,
+			Reps:       v.Len(),
+			ProgramOps: st.prog.Ops(),
+			TrimmedOps: st.prog.TrimmedOps(),
+		}
+	case st.tr != nil:
+		d, w, err := sim.ShardsView(st.tr, view, workers)
+		if err != nil {
+			panic(fmt.Sprintf("coverage: bitpar replay of %s on %s: %v", st.runner.Name(), p.Universe.Name, err))
+		}
+		return d, &EngineStats{Engine: EngineBitParallel, Workers: w, Reps: view.Len()}
+	default:
+		d, w := oracleDetectView(st.runner, view, p.Memory, workers)
+		return d, &EngineStats{Engine: EngineOracle, Workers: w, Reps: view.Len()}
+	}
+}
+
+// oracleDetectView is the reference path over a view: one full
+// algorithm run per presented fault, distributed over workers with an
+// atomic cursor.  It also returns the effective worker count.
+func oracleDetectView(r Runner, v fault.View, mk MemoryFactory, workers int) ([]bool, int) {
+	n := v.Len()
+	detected := make([]bool, n)
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(cursor.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				mem := v.At(idx).Inject(mk())
+				d, _ := r.Run(mem)
+				detected[idx] = d
+			}
+		}()
+	}
+	wg.Wait()
+	return detected, workers
+}
+
+// FormatStages renders the session's stage progression as one line:
+// "MATS+ 1292→301; March C- 301→4" (entered→survivors, execution
+// order) — the faultcov -session report.
+func (s *Session) FormatStages() string {
+	parts := make([]string, len(s.Stages))
+	for i, st := range s.Stages {
+		parts[i] = fmt.Sprintf("%s %d→%d", st.Runner, st.Entered, st.Survivors)
+	}
+	return strings.Join(parts, "; ")
+}

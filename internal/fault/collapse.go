@@ -90,9 +90,20 @@ type safPairKey struct{ cell, bit int }
 // must have produced it from the same trace the representatives will be
 // simulated against.
 func Collapse(faults []Fault, sum *TraceSummary) Collapsed {
-	col := Collapsed{Map: make([]int, len(faults))}
-	index := make(map[any]int, len(faults))
-	for i, f := range faults {
+	return CollapseView(Span(faults), sum)
+}
+
+// CollapseView is Collapse over a view: the equivalence classes are
+// computed among the view's faults only (Map is indexed by view
+// position), so collapsing composes with cross-test fault dropping —
+// a representative whose class died out of the survivor set is not
+// simulated, and Expand still scatters results back per view position.
+func CollapseView(v View, sum *TraceSummary) Collapsed {
+	n := v.Len()
+	col := Collapsed{Map: make([]int, n)}
+	index := make(map[any]int, n)
+	for i := 0; i < n; i++ {
+		f := v.At(i)
 		key := collapseKey(f, sum)
 		if r, ok := index[key]; ok {
 			col.Map[i] = r

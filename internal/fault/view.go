@@ -1,0 +1,74 @@
+package fault
+
+// View is a cheap subset of a fault slice: the shared backing slice
+// plus an optional index list.  No fault instances are copied — a view
+// of a million-fault universe is one slice header and (for proper
+// subsets) a []int32 of positions — so the campaign session layer can
+// narrow a universe test after test (cross-test fault dropping) without
+// rebuilding fault slices.  The zero value is an empty view.
+type View struct {
+	faults []Fault
+	idx    []int32 // positions into faults; nil = the whole slice
+}
+
+// Span returns the identity view over the whole slice.
+func Span(faults []Fault) View { return View{faults: faults} }
+
+// Len returns the number of faults in the view.
+func (v View) Len() int {
+	if v.idx != nil {
+		return len(v.idx)
+	}
+	return len(v.faults)
+}
+
+// At returns the fault at view position i.
+func (v View) At(i int) Fault {
+	if v.idx != nil {
+		return v.faults[v.idx[i]]
+	}
+	return v.faults[i]
+}
+
+// Index maps view position i to its position in the backing slice.
+func (v View) Index(i int) int {
+	if v.idx != nil {
+		return int(v.idx[i])
+	}
+	return i
+}
+
+// Full reports whether the view spans its whole backing slice without
+// an index indirection.
+func (v View) Full() bool { return v.idx == nil }
+
+// Batch returns view positions [lo, hi) as a contiguous fault slice:
+// the backing subslice directly for a full view (zero copying — the
+// common first-stage case), otherwise the headers gathered into
+// scratch (grown as needed).  Replay drivers pass a per-worker scratch
+// so steady-state batches allocate nothing.
+func (v View) Batch(scratch []Fault, lo, hi int) []Fault {
+	if v.idx == nil {
+		return v.faults[lo:hi]
+	}
+	scratch = scratch[:0]
+	for _, j := range v.idx[lo:hi] {
+		scratch = append(scratch, v.faults[j])
+	}
+	return scratch
+}
+
+// Where returns the sub-view of positions the predicate keeps,
+// composed onto the same backing slice (indices remain positions in
+// the original slice, so detection scatter stays exact across chained
+// narrowing).
+func (v View) Where(keep func(i int) bool) View {
+	n := v.Len()
+	idx := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			idx = append(idx, int32(v.Index(i)))
+		}
+	}
+	return View{faults: v.faults, idx: idx}
+}

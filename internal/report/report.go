@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -91,6 +92,39 @@ func (t *Table) String() string {
 	var b strings.Builder
 	t.Render(&b)
 	return b.String()
+}
+
+// JSONL writes the table as JSON Lines — one object per row, with a
+// "table" field carrying the title and one field per column in column
+// order — so downstream tooling consumes experiment rows without
+// scraping aligned text.  Missing cells are omitted; cells beyond the
+// header count are dropped (they have no key).
+func (t *Table) JSONL(w io.Writer) {
+	for _, row := range t.Rows {
+		var b strings.Builder
+		b.WriteString(`{"table":`)
+		b.Write(jsonString(t.Title))
+		for i, h := range t.Headers {
+			if i >= len(row) {
+				break
+			}
+			b.WriteByte(',')
+			b.Write(jsonString(h))
+			b.WriteByte(':')
+			b.Write(jsonString(row[i]))
+		}
+		b.WriteByte('}')
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) []byte {
+	out, err := json.Marshal(s)
+	if err != nil { // strings cannot fail to marshal
+		panic(err)
+	}
+	return out
 }
 
 // CSV writes the table as comma-separated values (quoted when needed).

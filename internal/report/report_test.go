@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,43 @@ func TestCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "\"quo\"\"te\"") {
 		t.Error("quote not escaped")
+	}
+}
+
+func TestJSONL(t *testing.T) {
+	tb := New("E6 — \"quoted\"", "algorithm", "coverage")
+	tb.AddRowf("March C-", "100.0%")
+	tb.AddRowf("PRT-3", "99.8%", "spurious-extra-cell")
+	tb.AddRowf("short")
+	var b strings.Builder
+	tb.JSONL(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count %d: %q", len(lines), b.String())
+	}
+	for i, line := range lines {
+		var obj map[string]string
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d not valid JSON: %v (%q)", i, err, line)
+		}
+		if obj["table"] != `E6 — "quoted"` {
+			t.Errorf("line %d table = %q", i, obj["table"])
+		}
+	}
+	var first map[string]string
+	_ = json.Unmarshal([]byte(lines[0]), &first)
+	if first["algorithm"] != "March C-" || first["coverage"] != "100.0%" {
+		t.Errorf("row fields wrong: %v", first)
+	}
+	var second map[string]string
+	_ = json.Unmarshal([]byte(lines[1]), &second)
+	if len(second) != 3 { // table + 2 headers; the extra cell has no key
+		t.Errorf("extra cell leaked: %v", second)
+	}
+	var third map[string]string
+	_ = json.Unmarshal([]byte(lines[2]), &third)
+	if _, ok := third["coverage"]; ok {
+		t.Errorf("missing cell invented a value: %v", third)
 	}
 }
 

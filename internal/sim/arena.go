@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fault"
 )
@@ -57,26 +58,61 @@ type Arena struct {
 
 // NewArena builds a worker arena for the program.
 func NewArena(p *Program) *Arena {
-	a := &Arena{
-		p:          p,
-		lanes:      append([]uint64(nil), p.initLanes...),
-		dirtyAt:    make([]uint32, p.size),
-		epoch:      1,
-		writeHooks: make([][]fault.WriteHook, p.size),
-		readHooks:  make([][]fault.ReadHook, p.size),
-		flags:      make([]uint8, p.size),
-		val:        make([]uint64, p.width),
-		data:       make([]uint64, p.width),
-	}
-	if p.maxBack > 0 {
-		a.hist = make([]uint64, p.maxBack*p.width)
-	}
-	if p.accWords > 0 {
-		a.acc = make([]uint64, p.accWords)
-		a.obsScr = make([]uint64, p.obsBits)
-		a.diff = make([]uint64, p.width)
-	}
+	a := &Arena{}
+	a.Retarget(p)
 	return a
+}
+
+// grow resizes a scratch slice to n elements, reusing capacity.  The
+// exposed elements may hold stale values; callers clear or overwrite
+// what replay reads.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Retarget rebinds the arena to a (possibly different) compiled
+// program: every buffer is resized for the new geometry and all state —
+// lanes, hook tables, dirty tracking, observer accumulators, the hook
+// pool — is restored to the program's initial conditions.  A
+// retargeted arena is indistinguishable from a fresh NewArena (the
+// cross-program reuse regression test replays program pairs in both
+// orders), so session executors keep one arena per worker alive across
+// the stages of a campaign instead of reallocating per program.
+func (a *Arena) Retarget(p *Program) {
+	a.p = p
+	a.clock = 0
+	a.lanes = grow(a.lanes, len(p.initLanes))
+	copy(a.lanes, p.initLanes)
+	// Dirty tracking restarts from scratch: the wholesale lane copy
+	// above already restored everything the previous program touched.
+	a.dirty = a.dirty[:0]
+	a.dirtyAt = grow(a.dirtyAt, p.size)
+	clear(a.dirtyAt)
+	a.epoch = 1
+	// Hook state from the previous program is dropped outright (clear
+	// nils the inner slices): the hooked lists may describe cells that
+	// no longer exist at the new size.
+	a.writeHooks = grow(a.writeHooks, p.size)
+	clear(a.writeHooks)
+	a.readHooks = grow(a.readHooks, p.size)
+	clear(a.readHooks)
+	a.everyRead = a.everyRead[:0]
+	a.hookedW = a.hookedW[:0]
+	a.hookedR = a.hookedR[:0]
+	a.flags = grow(a.flags, p.size)
+	clear(a.flags)
+	a.val = grow(a.val, p.width)
+	a.data = grow(a.data, p.width)
+	a.hist = grow(a.hist, p.maxBack*p.width)
+	clear(a.hist)
+	a.acc = grow(a.acc, p.accWords)
+	clear(a.acc)
+	a.obsScr = grow(a.obsScr, p.obsBits)
+	a.diff = grow(a.diff, p.width)
+	a.pool.Reset()
 }
 
 // Size implements fault.LaneMemory.
@@ -176,6 +212,46 @@ func (a *Arena) reset() {
 	clear(a.acc)
 	a.pool.Reset()
 	a.clock = 0
+}
+
+// ArenaPool recycles worker arenas across the compiled programs of a
+// campaign session: a worker checks an arena out for one program (Get
+// retargets it when the shape changed), replays its batches, and
+// returns it.  A nil pool is valid and simply builds fresh arenas.
+// The pool is safe for concurrent Get/Put; each checked-out arena is
+// still single-threaded.
+type ArenaPool struct {
+	mu   sync.Mutex
+	free []*Arena
+}
+
+// Get returns an arena bound to p, reusing a pooled one when possible.
+func (ap *ArenaPool) Get(p *Program) *Arena {
+	if ap == nil {
+		return NewArena(p)
+	}
+	ap.mu.Lock()
+	var a *Arena
+	if n := len(ap.free); n > 0 {
+		a = ap.free[n-1]
+		ap.free = ap.free[:n-1]
+	}
+	ap.mu.Unlock()
+	if a == nil {
+		return NewArena(p)
+	}
+	a.Retarget(p)
+	return a
+}
+
+// Put returns an arena to the pool for a later Get.
+func (ap *ArenaPool) Put(a *Arena) {
+	if ap == nil || a == nil {
+		return
+	}
+	ap.mu.Lock()
+	ap.free = append(ap.free, a)
+	ap.mu.Unlock()
 }
 
 // inject installs each fault on its machine lane, preferring the

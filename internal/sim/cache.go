@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/ram"
+)
+
+// ProgramCache memoizes compiled replay programs across campaigns, so
+// repeated sweeps (a factor grid re-running the same test, size sweeps
+// through the same sizes, multi-experiment CLI runs, benchmark
+// iterations) record and compile each trace once.  Programs are
+// immutable once compiled (all per-replay state lives in Arena), so a
+// cached program is shared freely between campaigns and workers.
+//
+// The key's Runner string is the caller's responsibility: it must
+// uniquely determine the operation schedule and annotations the runner
+// produces on a memory of the keyed geometry (see coverage.TraceKeyer
+// — a display name is NOT enough when distinct configurations share
+// one).  Size, Width and InitHash pin the memory geometry and pre-run
+// contents the trace was recorded against.
+type ProgramCache struct {
+	mu     sync.Mutex
+	m      map[ProgramKey]*CachedProgram
+	hits   uint64
+	misses uint64
+}
+
+// ProgramKey identifies one (runner, memory geometry) pair.
+type ProgramKey struct {
+	// Runner uniquely identifies the test algorithm's full
+	// configuration (not merely its display name).
+	Runner string
+	// Size and Width are the memory geometry.
+	Size, Width int
+	// InitHash fingerprints the pre-run memory contents.
+	InitHash uint64
+}
+
+// CachedProgram is one cache entry: the compiled program plus the
+// clean-run metadata a campaign result reports.  Only fault-free
+// (non-false-positive) recordings are cached.
+type CachedProgram struct {
+	Prog     *Program
+	CleanOps uint64
+}
+
+// cacheCap bounds the entry count; eviction is arbitrary (map order),
+// which is fine for the sweep workloads the cache exists for — they
+// cycle through a small set of runners.
+const cacheCap = 128
+
+// NewProgramCache returns an empty cache.
+func NewProgramCache() *ProgramCache { return &ProgramCache{} }
+
+// Get returns the entry for k, if cached.
+func (c *ProgramCache) Get(k ProgramKey) (*CachedProgram, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// Put stores an entry for k, evicting an arbitrary entry at capacity.
+func (c *ProgramCache) Put(k ProgramKey, e *CachedProgram) {
+	if c == nil || e == nil || e.Prog == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[ProgramKey]*CachedProgram)
+	}
+	if _, exists := c.m[k]; !exists && len(c.m) >= cacheCap {
+		for victim := range c.m {
+			delete(c.m, victim)
+			break
+		}
+	}
+	c.m[k] = e
+}
+
+// Stats reports lookup hits, misses and the current entry count.
+func (c *ProgramCache) Stats() (hits, misses uint64, entries int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}
+
+// InitHash fingerprints a memory's pre-run contents (FNV-1a over every
+// word) for the program-cache key: two factories producing the same
+// geometry but different initial images must not share a trace.
+func InitHash(mem ram.Memory) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	n := mem.Size()
+	for a := 0; a < n; a++ {
+		mix(uint64(mem.Read(a)))
+	}
+	return h
+}

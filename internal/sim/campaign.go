@@ -24,26 +24,32 @@ func Batchable(faults []fault.Fault) bool {
 	return true
 }
 
-// shard partitions faults into 64-machine batches distributed across
-// workers goroutines (0 = GOMAXPROCS) with an atomic cursor.  Each
-// goroutine calls newWorker once for its private replay function (the
-// compiled path hangs a reusable Arena off it) and then replays one
-// batch per cursor claim.  detected[i] reports fault faults[i]; every
-// batch writes a disjoint slice segment, so the result is deterministic
-// regardless of the worker count.  A failing batch raises a shared stop
-// flag so the remaining workers short-circuit instead of completing
-// their batches uselessly.  The returned worker count is the effective
-// one after clamping to the batch count — what execution reports must
-// cite, not the requested value.
-func shard(faults []fault.Fault, workers int, newWorker func() func(batch []fault.Fault) (uint64, error)) ([]bool, int, error) {
-	batches := (len(faults) + BatchSize - 1) / BatchSize
+// shard partitions the view's faults into 64-machine batches
+// distributed across workers goroutines (0 = GOMAXPROCS) with an
+// atomic cursor.  Each goroutine calls newWorker once for its private
+// replay function (the compiled path hangs a reusable Arena off it,
+// returned through the done hook) and then replays one batch per
+// cursor claim.  Subset views gather each batch's fault headers into a
+// per-worker scratch and scatter the detection mask back by view
+// position — the lane remap that lets cross-test fault dropping replay
+// only survivors; full views replay backing subslices directly, as
+// before.  detected[i] reports view fault i; every batch writes a
+// disjoint slice segment, so the result is deterministic regardless of
+// the worker count.  A failing batch raises a shared stop flag so the
+// remaining workers short-circuit instead of completing their batches
+// uselessly.  The returned worker count is the effective one after
+// clamping to the batch count — what execution reports must cite, not
+// the requested value.
+func shard(v fault.View, workers int, newWorker func() (replay func(batch []fault.Fault) (uint64, error), done func())) ([]bool, int, error) {
+	n := v.Len()
+	batches := (n + BatchSize - 1) / BatchSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > batches {
 		workers = batches
 	}
-	detected := make([]bool, len(faults))
+	detected := make([]bool, n)
 	var cursor atomic.Int64
 	var stop atomic.Bool
 	errs := make([]error, workers)
@@ -52,7 +58,14 @@ func shard(faults []fault.Fault, workers int, newWorker func() func(batch []faul
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			replay := newWorker()
+			replay, done := newWorker()
+			if done != nil {
+				defer done()
+			}
+			var scratch []fault.Fault
+			if !v.Full() {
+				scratch = make([]fault.Fault, 0, BatchSize)
+			}
 			for {
 				b := int(cursor.Add(1)) - 1
 				if b >= batches || stop.Load() {
@@ -60,10 +73,10 @@ func shard(faults []fault.Fault, workers int, newWorker func() func(batch []faul
 				}
 				lo := b * BatchSize
 				hi := lo + BatchSize
-				if hi > len(faults) {
-					hi = len(faults)
+				if hi > n {
+					hi = n
 				}
-				mask, err := replay(faults[lo:hi])
+				mask, err := replay(v.Batch(scratch, lo, hi))
 				if err != nil {
 					errs[w] = err
 					stop.Store(true)
@@ -90,10 +103,18 @@ func shard(faults []fault.Fault, workers int, newWorker func() func(batch []faul
 // the allocation-free fast path.  The int result is the effective
 // worker count after clamping to the batch count.
 func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, int, error) {
-	return shard(faults, workers, func() func([]fault.Fault) (uint64, error) {
+	return ShardsView(tr, fault.Span(faults), workers)
+}
+
+// ShardsView is Shards over an index-view of the fault slice:
+// detected[i] reports view fault i, so a session replaying only the
+// survivors of earlier tests passes the narrowed view instead of
+// rebuilding fault slices.
+func ShardsView(tr *Trace, v fault.View, workers int) ([]bool, int, error) {
+	return shard(v, workers, func() (func([]fault.Fault) (uint64, error), func()) {
 		return func(batch []fault.Fault) (uint64, error) {
 			return ReplayBatch(tr, batch)
-		}
+		}, nil
 	})
 }
 
@@ -102,10 +123,17 @@ func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, int, error) {
 // batches allocate nothing.  The int result is the effective worker
 // count after clamping to the batch count.
 func ShardsCompiled(p *Program, faults []fault.Fault, workers int) ([]bool, int, error) {
-	return shard(faults, workers, func() func([]fault.Fault) (uint64, error) {
-		a := NewArena(p)
+	return ShardsCompiledView(p, fault.Span(faults), workers, nil)
+}
+
+// ShardsCompiledView is ShardsCompiled over an index-view of the fault
+// slice, optionally drawing worker arenas from a pool so a session's
+// consecutive programs reuse them (nil builds fresh arenas).
+func ShardsCompiledView(p *Program, v fault.View, workers int, arenas *ArenaPool) ([]bool, int, error) {
+	return shard(v, workers, func() (func([]fault.Fault) (uint64, error), func()) {
+		a := arenas.Get(p)
 		return func(batch []fault.Fault) (uint64, error) {
 			return p.Replay(a, batch)
-		}
+		}, func() { arenas.Put(a) }
 	})
 }

@@ -71,6 +71,25 @@
 // simulate one representative per class; package coverage expands the
 // results back so every experiment table is unchanged.
 //
+// Three capabilities serve the campaign *session* layer (package
+// coverage's planner/executor, which runs several tests over one
+// universe with cross-test fault dropping):
+//
+//   - subset replay: ShardsView / ShardsCompiledView take an index
+//     view of the fault slice (fault.View) and scatter detections
+//     back through the lane remap, so the survivors of test k are the
+//     only faults replayed against test k+1 — no fault-slice copying;
+//
+//   - a compiled-program cache (ProgramCache) keyed by (runner
+//     identity, memory geometry, initial-image hash), so repeated
+//     sweeps record and compile each trace once; programs are
+//     immutable after compilation and shared freely across campaigns;
+//
+//   - arena reuse across programs: Arena.Retarget rebinds a worker's
+//     arena to a different program (any width, size, observer or
+//     history shape) with a full state reset, and ArenaPool recycles
+//     arenas between a session's stages.
+//
 // The engine is exact, not approximate: package coverage cross-checks
 // all of it against the per-fault oracle path, and the equivalence
 // property tests assert identical per-class results over full fault
