@@ -390,6 +390,33 @@ func BenchmarkSession(b *testing.B) {
 	b.Run(fmt.Sprintf("n=%d/session+drop", n), session(true))
 }
 
+// BenchmarkStreamingCampaign measures the bounded-memory streaming
+// path: an exhaustive coupling universe (every ordered cell pair of a
+// 256-cell bit-oriented array × 12 sub-types = 783,360 instances,
+// fault.FullCouplingSource) pulled through the compiled engine in
+// chunks.  Resident fault storage is O(chunk × workers) — the
+// memory-guard test in internal/coverage asserts it — so the chunk
+// sweep shows chunk size is a memory knob, not a throughput knob.
+// The custom metric is faults simulated per second.
+func BenchmarkStreamingCampaign(b *testing.B) {
+	const n = 256
+	src := fault.FullCouplingSource(n)
+	count, _ := src.Count()
+	st := &fault.Stream{Name: "cf-exhaustive", Source: src}
+	mk := func() ram.Memory { return ram.NewBOM(n) }
+	r := coverage.MarchRunner(march.MarchCMinus(), nil)
+	for _, chunk := range []int{512, 8192} {
+		b.Run(fmt.Sprintf("n=%d/chunk=%d", n, chunk), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := coverage.CampaignStream(r, st, mk, 0, chunk)
+				sink = uint64(res.Detected)
+			}
+			b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+		})
+	}
+}
+
 var sink uint64
 
 // --- E14: ablation — ring vs plain iterations ---
@@ -421,6 +448,16 @@ func BenchmarkTableMISRAliasing(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ExperimentMISRAliasing([]int{32}, []int{4})
+	}
+}
+
+// --- E17: streaming — exhaustive coupling escapes ---
+
+func BenchmarkTableExhaustiveCoupling(b *testing.B) {
+	printTable("e17", func() *report.Table { return ExperimentExhaustiveCoupling([]int{48, 96}, 64) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExperimentExhaustiveCoupling([]int{32}, 32)
 	}
 }
 

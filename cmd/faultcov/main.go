@@ -13,6 +13,9 @@
 //	faultcov -collapse=false # simulate the full universe, uncollapsed
 //	faultcov -drop           # cross-test fault dropping in sessions
 //	faultcov -session        # report survivors per session stage
+//	faultcov -seed 99        # reseed the sampled coupling-pair draws
+//	faultcov -chunk 65536    # faults per pull of streaming campaigns
+//	faultcov -exp e17 -exhaustive-cf  # multi-million-fault exhaustive CF run
 //
 // The experiment catalogue is defined once in this file (the order
 // slice below) and the -exp help text is generated from it, so the two
@@ -36,6 +39,18 @@
 // then conditional on session order; defaults keep every row an
 // independent full-universe campaign).  -session prints one summary
 // line per session with the survivor count after each stage.
+//
+// E17 runs over streaming fault universes (fault.Source): the faults
+// are generated in -chunk sized pulls instead of being materialized,
+// so resident fault storage is O(chunk × workers) however large the
+// universe.  -exhaustive-cf switches E17 to its full-scale sizes,
+// where the exhaustive coupling universe exceeds two million fault
+// instances — feasible only via the streaming path.
+//
+// -seed replaces the per-experiment default seeds of every sampled
+// coupling-pair draw (E5, E6, E10, E16 and E17's sampled baseline);
+// the effective seed is printed in the run header so sampled tables
+// are reproducible on demand.
 package main
 
 import (
@@ -77,8 +92,20 @@ func catalogue() []experiment {
 		{"e16", func() *report.Table {
 			return repro.ExperimentMISRAliasing([]int{64, 256}, []int{1, 2, 4, 8, 16})
 		}},
+		{"e17", func() *report.Table {
+			// -exhaustive-cf scales the exhaustive coupling universes into
+			// the millions (n=512 → 3.1M instances) — streaming only.
+			if exhaustiveCFSizes {
+				return repro.ExperimentExhaustiveCoupling([]int{64, 128, 256, 512}, 64)
+			}
+			return repro.ExperimentExhaustiveCoupling([]int{48, 96}, 64)
+		}},
 	}
 }
+
+// exhaustiveCFSizes is set by the -exhaustive-cf flag before the
+// catalogue's build closures run.
+var exhaustiveCFSizes bool
 
 func main() {
 	exps := catalogue()
@@ -98,7 +125,11 @@ func main() {
 	collapse := flag.Bool("collapse", true, "collapse equivalent faults before simulation (compiled engine)")
 	drop := flag.Bool("drop", false, "cross-test fault dropping: later runners of a comparison session simulate only the faults earlier runners missed (their rows then cover survivors only)")
 	session := flag.Bool("session", false, "print one summary line per campaign session with survivors after each stage")
+	seed := flag.Int64("seed", 0, "seed for the sampled coupling-pair draws (0 = per-experiment defaults), printed in the run header")
+	chunk := flag.Int("chunk", 0, "faults per pull of streaming campaigns (0 = the engine default)")
+	exhaustiveCF := flag.Bool("exhaustive-cf", false, "run E17 over the full-scale exhaustive coupling universes (millions of fault instances, streaming engine only)")
 	flag.Parse()
+	exhaustiveCFSizes = *exhaustiveCF
 
 	eng, err := coverage.ParseEngine(*engine)
 	if err != nil {
@@ -118,6 +149,8 @@ func main() {
 	coverage.SetDefaultWorkers(*workers)
 	coverage.SetCollapse(*collapse)
 	coverage.SetDefaultDrop(*drop)
+	coverage.SetDefaultChunk(*chunk)
+	repro.SetSampleSeed(*seed)
 	if *session {
 		// Session lines go to stdout only in text mode; the csv/json
 		// streams stay machine-readable, so the report moves to stderr.
@@ -136,8 +169,13 @@ func main() {
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
 	}
+	seedLabel := "default"
+	if *seed != 0 {
+		seedLabel = fmt.Sprintf("%d", *seed)
+	}
 	if *format == "text" {
-		fmt.Printf("# engine=%s workers=%d collapse=%v drop=%v\n\n", eng, effWorkers, *collapse, *drop)
+		fmt.Printf("# engine=%s workers=%d collapse=%v drop=%v seed=%s chunk=%d\n\n",
+			eng, effWorkers, *collapse, *drop, seedLabel, coverage.DefaultChunk())
 	}
 
 	id := strings.ToLower(*exp)

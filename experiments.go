@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/bist"
 	"repro/internal/coverage"
@@ -21,6 +22,26 @@ import (
 // artefact (figure or quantitative claim), each returning a
 // report.Table with the rows the paper's evaluation corresponds to.
 // bench_test.go wraps each in a Benchmark; cmd/faultcov prints them.
+
+// sampleSeedOverride, when nonzero, replaces the per-experiment
+// default seeds of every sampled coupling-pair draw (the faultcov
+// -seed flag), so sampled tables are reproducible on demand under a
+// caller-chosen seed.
+var sampleSeedOverride atomic.Int64
+
+// SetSampleSeed overrides the sampled-pair seeds used by the
+// experiment harness (fault.SamplePairs / fault.StandardUniverse call
+// sites); 0 restores the per-experiment defaults.
+func SetSampleSeed(seed int64) { sampleSeedOverride.Store(seed) }
+
+// SampleSeed resolves the seed a sampled draw should use: the process
+// override when set, the experiment's default otherwise.
+func SampleSeed(def int64) int64 {
+	if s := sampleSeedOverride.Load(); s != 0 {
+		return s
+	}
+	return def
+}
 
 // ExperimentFig1a regenerates Figure 1a: the bit-oriented π-iteration
 // state evolution (TDB) and the ring-closure check.
@@ -144,7 +165,7 @@ func ExperimentCoupling(n int) *report.Table {
 		"scheme", "iters", "CFin", "CFid", "CFst", "BF", "total")
 	gen := prt.PaperWOMConfig().Gen
 	pairs := fault.AdjacentPairs(n)
-	pairs = append(pairs, fault.SamplePairs(n, 4, 20, 7)...)
+	pairs = append(pairs, fault.SamplePairs(n, 4, 20, SampleSeed(7))...)
 	u := fault.Universe{Name: "coupling", Faults: fault.CouplingUniverse(pairs)}
 	mk := func() ram.Memory { return ram.NewWOM(n, 4) }
 	// All seven schemes ride one session over the shared universe.
@@ -180,7 +201,7 @@ func ExperimentPRTvsMarch(n, m int) *report.Table {
 	t := report.New(
 		fmt.Sprintf("§3/§4 (E6) — PRT vs March: ops and coverage, n=%d m=%d", n, m),
 		"algorithm", "ops/cell", "ops(clean)", "coverage", "SAF", "TF", "CF*", "AF")
-	u := fault.StandardUniverse(n, m, 10, 5)
+	u := fault.StandardUniverse(n, m, 10, SampleSeed(5))
 	mk := func() ram.Memory { return ram.NewWOM(n, m) }
 	bgs := march.DataBackgrounds(m)
 
@@ -318,7 +339,7 @@ func ExperimentQualityFactors(n int) *report.Table {
 	t := report.New(
 		fmt.Sprintf("§3 (E10) — quality factors of the π-test (signature-only, 3 iterations), BOM n=%d", n),
 		"factor", "setting", "coverage")
-	u := fault.StandardUniverse(n, 1, 10, 3)
+	u := fault.StandardUniverse(n, 1, 10, SampleSeed(3))
 	mk := func() ram.Memory { return ram.NewBOM(n) }
 	f1 := gf.NewField(1)
 
@@ -603,7 +624,7 @@ func ExperimentMISRAliasing(sizes, widths []int) *report.Table {
 		"n", "w", "exact", "sisr", "detected(exact)", "escaped", "observed", "2^-w")
 	for _, n := range sizes {
 		pairs := fault.AdjacentPairs(n)
-		pairs = append(pairs, fault.SamplePairs(n, 1, 48, 5)...)
+		pairs = append(pairs, fault.SamplePairs(n, 1, 48, SampleSeed(5))...)
 		u := fault.Universe{Name: "coupling", Faults: fault.CouplingUniverse(pairs)}
 		mk := func() ram.Memory { return ram.NewBOM(n) }
 		// One session per size: the exact comparator and every register
@@ -756,6 +777,62 @@ func (r sisrRunner) Run(mem ram.Memory) (bool, uint64) {
 	return detected, ops
 }
 
+// ExperimentExhaustiveCoupling is streaming experiment E17: exact
+// escape counts over the exhaustive two-cell coupling universe versus
+// the sampled-pair estimates the harness (like the paper's evaluation)
+// otherwise relies on.  For each memory size the full population —
+// every ordered aggressor→victim cell pair expanded into the 12-fault
+// sub-type set, n·(n-1)·12 instances — streams through the campaign
+// engine in bounded chunks (fault.FullCouplingSource), so the exact
+// escape count is computed without ever materializing the universe;
+// the sampled row replays the classical methodology (uniform random
+// pairs, escape rate extrapolated to the population) against the same
+// algorithm.  The difference between the extrapolated and the exact
+// count is the sampling error the streaming path eliminates.  At the
+// -exhaustive-cf sizes the exact column covers universes of millions
+// of instances — memory-infeasible for the materialized path, pure
+// simulation time for the streaming one.
+func ExperimentExhaustiveCoupling(sizes []int, samples int) *report.Table {
+	t := report.New(
+		"E17 (streaming) — exhaustive CF escape counts vs sampled estimates, BOM",
+		"n", "CF universe", "algorithm", "sampled pairs", "sampled escape rate", "est. escapes", "exact escapes", "est. error")
+	gen := prt.PaperBOMConfig().Gen
+	runners := []coverage.Runner{
+		coverage.PRTRunner(prt.StandardScheme3(gen)),
+		coverage.MarchRunner(march.MarchCMinus(), nil),
+	}
+	for _, n := range sizes {
+		mk := func() ram.Memory { return ram.NewBOM(n) }
+		full := fault.FullCouplingSource(n)
+		count, _ := full.Count()
+		sampled := fault.Universe{
+			Name:   "cf-sampled",
+			Faults: fault.CouplingUniverse(fault.SamplePairs(n, 1, samples, SampleSeed(11))),
+		}
+		for _, r := range runners {
+			sres := coverage.Campaign(r, sampled, mk, 0)
+			rate := 1 - sres.Coverage()
+			est := rate * float64(count)
+			xres := coverage.CampaignStream(r, &fault.Stream{Name: "cf-exhaustive", Source: full}, mk, 0, 0)
+			exact := xres.Total - xres.Detected
+			errCol := "n/a"
+			if exact > 0 {
+				errCol = fmt.Sprintf("%+.1f%%", 100*(est-float64(exact))/float64(exact))
+			}
+			t.AddRowf(
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", count),
+				r.Name(),
+				fmt.Sprintf("%d", samples),
+				fmt.Sprintf("%.4f", rate),
+				fmt.Sprintf("%.0f", est),
+				fmt.Sprintf("%d", exact),
+				errCol)
+		}
+	}
+	return t
+}
+
 // AllExperiments returns every experiment table with default
 // parameters — the full regeneration pass used by cmd/faultcov and the
 // benches.
@@ -777,5 +854,6 @@ func AllExperiments() []*report.Table {
 		ExperimentRingMode([]int{64, 255, 257}),
 		ExperimentMISR(64),
 		ExperimentMISRAliasing([]int{64, 256}, []int{1, 2, 4, 8, 16}),
+		ExperimentExhaustiveCoupling([]int{48, 96}, 64),
 	}
 }

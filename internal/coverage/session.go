@@ -20,8 +20,10 @@ import (
 //
 //   - cross-test fault dropping (Plan.Drop): once a fault is detected
 //     by one test of the session it is dropped from the remaining
-//     tests, which replay only the survivor subset through an index
-//     view of the fault slice (fault.View).  Dropping is
+//     tests, which replay only the survivor subset through a view of
+//     the fault slice (fault.View) — a survivor bitmap (fault.BitView,
+//     one bit per universe fault) rather than materialized index
+//     slices.  Dropping is
 //     verdict-preserving: a fault that IS simulated by a stage gets
 //     exactly the verdict an independent campaign would give it
 //     (verdicts are unconditional properties of the (runner, fault)
@@ -90,6 +92,15 @@ type Plan struct {
 	Runners []Runner
 	// Universe is the shared fault universe.
 	Universe fault.Universe
+	// Stream, when non-nil, replaces Universe with a pull-based fault
+	// source enumerated in bounded chunks (stream.go): the session then
+	// holds O(Chunk × Workers) fault instances plus one bit per
+	// universe fault, whatever the universe size.  Universe is ignored
+	// while Stream is set.
+	Stream *fault.Stream
+	// Chunk is the faults-per-pull of a streaming session (<= 0 means
+	// the package default; see SetDefaultChunk).
+	Chunk int
 	// Memory builds a fresh fault-free memory per trial.
 	Memory MemoryFactory
 	// Workers caps the campaign goroutines (<= 0 means the package
@@ -202,6 +213,9 @@ type stage struct {
 
 // Run executes the session.
 func (p *Plan) Run() *Session {
+	if p.Stream != nil {
+		return p.runStream()
+	}
 	workers := p.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -215,11 +229,7 @@ func (p *Plan) Run() *Session {
 	for i, r := range p.Runners {
 		stages[i] = p.prepareStage(r, i, batchable)
 	}
-	order := make([]*stage, len(stages))
-	copy(order, stages)
-	if p.Order == OrderCheapestFirst {
-		sort.SliceStable(order, func(a, b int) bool { return order[a].cleanOps < order[b].cleanOps })
-	}
+	order := p.executionOrder(stages)
 
 	s := &Session{Results: make([]Result, len(p.Runners))}
 	if p.KeepVectors {
@@ -228,11 +238,15 @@ func (p *Plan) Run() *Session {
 	cum := make([]bool, nFaults)
 	cumDetected := 0
 	arenas := &sim.ArenaPool{}
-	survivors := fault.Span(p.Universe.Faults)
+	// Cross-test dropping bookkeeping: one bit per universe fault (set
+	// while undetected), exposed to later stages as a fault.BitView —
+	// the subset never costs more than N/8 bytes however many stages
+	// narrow it.  nil until the first stage has run.
+	var surv *fault.BitSet
 	for _, st := range order {
 		view := fault.Span(p.Universe.Faults)
-		if p.Drop {
-			view = survivors
+		if p.Drop && surv != nil {
+			view = fault.NewBitView(p.Universe.Faults, surv)
 		}
 		det, stats := p.detect(st, view, workers, arenas)
 		res := Result{
@@ -284,17 +298,26 @@ func (p *Plan) Run() *Session {
 			Stats:       stats,
 		})
 		if p.Drop {
-			survivors = view.Where(func(i int) bool { return !det[i] })
+			if surv == nil {
+				surv = fault.NewBitSet(nFaults)
+				for i := 0; i < view.Len(); i++ {
+					if !det[i] {
+						surv.Set(view.Index(i))
+					}
+				}
+			} else {
+				for i := 0; i < view.Len(); i++ {
+					if det[i] {
+						surv.Clear(view.Index(i))
+					}
+				}
+			}
 		}
 	}
 
 	// Session-level cumulative coverage.
-	name := p.Name
-	if name == "" {
-		name = "session"
-	}
 	cumRes := Result{
-		Runner:   name,
+		Runner:   p.sessionName(),
 		Universe: p.Universe.Name,
 		Total:    nFaults,
 		Detected: cumDetected,
@@ -308,21 +331,54 @@ func (p *Plan) Run() *Session {
 		}
 		cumRes.ByClass[f.Class()] = cs
 	}
-	for _, st := range stages {
-		cumRes.OpsCleanRun += st.cleanOps
-		cumRes.FalsePositive = cumRes.FalsePositive || st.falsePositive
-	}
+	sumCleanRuns(stages, &cumRes)
 	s.Cumulative = cumRes
 
-	if len(p.Runners) > 1 {
-		sessionObserver.mu.RLock()
-		fn := sessionObserver.fn
-		sessionObserver.mu.RUnlock()
-		if fn != nil {
-			fn(p, s)
-		}
-	}
+	p.notifyObserver(s)
 	return s
+}
+
+// executionOrder applies Plan.Order to the prepared stages — shared by
+// the materialized and streaming executors, which the property tests
+// hold byte-identical.
+func (p *Plan) executionOrder(stages []*stage) []*stage {
+	order := make([]*stage, len(stages))
+	copy(order, stages)
+	if p.Order == OrderCheapestFirst {
+		sort.SliceStable(order, func(a, b int) bool { return order[a].cleanOps < order[b].cleanOps })
+	}
+	return order
+}
+
+// sessionName labels the cumulative result.
+func (p *Plan) sessionName() string {
+	if p.Name == "" {
+		return "session"
+	}
+	return p.Name
+}
+
+// sumCleanRuns folds the stages' clean-run metadata into the
+// cumulative result.
+func sumCleanRuns(stages []*stage, cum *Result) {
+	for _, st := range stages {
+		cum.OpsCleanRun += st.cleanOps
+		cum.FalsePositive = cum.FalsePositive || st.falsePositive
+	}
+}
+
+// notifyObserver reports a completed multi-runner session to the
+// installed session observer, if any.
+func (p *Plan) notifyObserver(s *Session) {
+	if len(p.Runners) <= 1 {
+		return
+	}
+	sessionObserver.mu.RLock()
+	fn := sessionObserver.fn
+	sessionObserver.mu.RUnlock()
+	if fn != nil {
+		fn(p, s)
+	}
 }
 
 // prepareStage runs the clean baseline for one runner: under the

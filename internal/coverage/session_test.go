@@ -133,8 +133,8 @@ func TestSessionDroppingSemanticsPreserving(t *testing.T) {
 func TestSessionCheapestFirstOrdersByCleanOps(t *testing.T) {
 	u := fault.Universe{Name: "single", Faults: fault.SingleCellUniverse(16, 1)}
 	runners := []Runner{
-		MarchRunner(march.MarchB(), nil),    // 17n
-		MarchRunner(march.MATSPlus(), nil),  // 5n
+		MarchRunner(march.MarchB(), nil),      // 17n
+		MarchRunner(march.MATSPlus(), nil),    // 5n
 		MarchRunner(march.MarchCMinus(), nil), // 10n
 	}
 	p := Plan{Runners: runners, Universe: u, Memory: bomFactory(16), Workers: 2, Order: OrderCheapestFirst}

@@ -1,0 +1,258 @@
+package coverage
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// This file is the streaming session executor: a Plan whose Stream
+// field is set runs its stages over a fault.Source pulled in bounded
+// chunks (sim.ShardsStream / sim.ShardsCompiledStream / a chunked
+// oracle), so session memory is O(Chunk × Workers) fault instances
+// plus one bit per universe fault — the universe size stops being a
+// memory bound.  Cross-test fault dropping is held as the cumulative
+// detection bitmap: a later stage skips every fault some earlier stage
+// already caught, exactly as the materialized executor's BitView path,
+// and the streaming property tests assert byte-identical Results
+// between the two executors for every universe family, engine and
+// chunk size.
+//
+// Everything else — stage preparation, the program cache, ordering,
+// engine fallbacks — is shared with the materialized executor.  The
+// replay engines additionally require every streamed fault to support
+// batch injection (all built-in fault models do); the per-fault oracle
+// path has no such constraint.
+
+// defaultChunk is the chunk size streaming sessions use when
+// Plan.Chunk <= 0 (the faultcov -chunk flag); its own zero value
+// defers to sim.DefaultChunk.
+var defaultChunk atomic.Int32
+
+// SetDefaultChunk fixes the faults-per-pull of streaming sessions
+// invoked with Chunk <= 0 (n <= 0 restores sim.DefaultChunk).
+func SetDefaultChunk(n int) { defaultChunk.Store(int32(n)) }
+
+// DefaultChunk returns the effective default chunk size.
+func DefaultChunk() int {
+	if n := int(defaultChunk.Load()); n > 0 {
+		return n
+	}
+	return sim.DefaultChunk
+}
+
+// CampaignStream runs a single-runner campaign over a streaming
+// universe on the default engine — the bounded-memory analogue of
+// Campaign.  chunk <= 0 selects the package default.  One divergence
+// from Campaign: the replay engines require every streamed fault to
+// support batch injection (all built-in fault models do) and fail
+// loudly otherwise — a streaming session cannot probe the whole
+// universe up front the way the materialized executor does before
+// falling back to the oracle.  Universes of custom non-batchable
+// faults must select EngineOracle explicitly.
+func CampaignStream(r Runner, s *fault.Stream, mk MemoryFactory, workers, chunk int) Result {
+	p := Plan{
+		Runners: []Runner{r}, Stream: s, Chunk: chunk,
+		Memory: mk, Workers: workers, Engine: DefaultEngine(),
+		Cache: SharedProgramCache(),
+	}
+	return p.Run().Results[0]
+}
+
+// CompareStream is Compare over a streaming universe: one session,
+// shared program cache, dropping per the process default.
+func CompareStream(runners []Runner, s *fault.Stream, mk MemoryFactory, workers, chunk int) []Result {
+	p := Plan{
+		Runners: runners, Stream: s, Chunk: chunk,
+		Memory: mk, Workers: workers, Engine: DefaultEngine(),
+		Drop: DefaultDrop(), Cache: SharedProgramCache(),
+	}
+	return p.Run().Results
+}
+
+// runStream executes a streaming session.
+func (p *Plan) runStream() *Session {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	chunk := p.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk()
+	}
+	src := p.Stream.Source
+	count, _ := src.Count() // capacity hint; bitmaps grow if it is low
+
+	// Stage preparation and ordering are shared with the materialized
+	// executor.  Streamed faults are assumed batch-injectable (checked
+	// per batch by the replay drivers, which fail loudly otherwise).
+	stages := make([]*stage, len(p.Runners))
+	for i, r := range p.Runners {
+		stages[i] = p.prepareStage(r, i, true)
+	}
+	order := p.executionOrder(stages)
+
+	s := &Session{Results: make([]Result, len(p.Runners))}
+	if p.KeepVectors {
+		s.Vectors = make([][]Verdict, len(p.Runners))
+	}
+	cum := fault.NewBitSet(count)
+	cumDetected := 0
+	classTotal := make(map[fault.Class]int)
+	classDet := make(map[fault.Class]int)
+	arenas := &sim.ArenaPool{}
+	universeN := -1 // presented count of the first executed stage = |universe|
+	for _, st := range order {
+		// The survivor filter for this stage is the cumulative detection
+		// bitmap so far, snapshotted: the sink below keeps updating cum
+		// while workers read the snapshot.
+		var stageDrop *fault.BitSet
+		if p.Drop && cumDetected > 0 {
+			stageDrop = cum.Clone()
+		}
+		res := Result{
+			Runner:        st.runner.Name(),
+			Universe:      p.Stream.Name,
+			ByClass:       make(map[fault.Class]ClassStat),
+			OpsCleanRun:   st.cleanOps,
+			FalsePositive: st.falsePositive,
+		}
+		var vec []Verdict
+		if s.Vectors != nil {
+			vec = make([]Verdict, count)
+			if stageDrop != nil {
+				for i := range vec {
+					vec[i] = VerdictDropped
+				}
+			}
+		}
+		tallyUniverse := universeN < 0
+		vecFill := VerdictUndetected
+		if stageDrop != nil {
+			vecFill = VerdictDropped // what undelivered positions mean this stage
+		}
+		sink := func(idx []int, faults []fault.Fault, det []bool) {
+			for i, f := range faults {
+				c := f.Class()
+				cs := res.ByClass[c]
+				cs.Total++
+				res.Total++
+				u := idx[i]
+				for vec != nil && u >= len(vec) { // inexact Count undershot
+					vec = append(vec, vecFill)
+				}
+				if det[i] {
+					cs.Detected++
+					res.Detected++
+					if !cum.Get(u) {
+						cum.Set(u)
+						cumDetected++
+						classDet[c]++
+					}
+					if vec != nil {
+						vec[u] = VerdictDetected
+					}
+				} else if vec != nil {
+					vec[u] = VerdictUndetected
+				}
+				res.ByClass[c] = cs
+				if tallyUniverse {
+					classTotal[c]++
+				}
+			}
+		}
+		src.Reset()
+		stats := p.detectStream(st, src, chunk, workers, stageDrop, arenas, sink)
+		res.Stats = stats
+		if tallyUniverse {
+			universeN = res.Total
+		}
+		s.Results[st.index] = res
+		if vec != nil {
+			// Normalize to the enumerated universe size: an inexact Count
+			// may have over-allocated (phantom trailing entries) or
+			// undershot past the last delivered index (undelivered faults
+			// keep this stage's fill meaning).
+			for len(vec) < universeN {
+				vec = append(vec, vecFill)
+			}
+			vec = vec[:universeN]
+		}
+		if s.Vectors != nil {
+			s.Vectors[st.index] = vec
+		}
+		s.Stages = append(s.Stages, StageStat{
+			Runner:      st.runner.Name(),
+			RunnerIndex: st.index,
+			Entered:     res.Total,
+			Detected:    res.Detected,
+			Survivors:   universeN - cumDetected,
+			CacheHit:    st.cacheHit,
+			Stats:       stats,
+		})
+	}
+	if universeN < 0 {
+		universeN = 0
+	}
+
+	cumRes := Result{
+		Runner:   p.sessionName(),
+		Universe: p.Stream.Name,
+		Total:    universeN,
+		Detected: cumDetected,
+		ByClass:  make(map[fault.Class]ClassStat),
+	}
+	for c, total := range classTotal {
+		cumRes.ByClass[c] = ClassStat{Total: total, Detected: classDet[c]}
+	}
+	sumCleanRuns(stages, &cumRes)
+	s.Cumulative = cumRes
+
+	p.notifyObserver(s)
+	return s
+}
+
+// detectStream runs one stage over the source and returns the engine
+// report; verdicts flow to the sink chunk by chunk.
+func (p *Plan) detectStream(st *stage, src fault.Source, chunk, workers int, drop *fault.BitSet, arenas *sim.ArenaPool, sink sim.ChunkSink) *EngineStats {
+	switch {
+	case st.prog != nil:
+		w, reps, err := sim.ShardsCompiledStream(st.prog, src, chunk, workers, drop, CollapseEnabled(), arenas, sink)
+		if err != nil {
+			panic(fmt.Sprintf("coverage: compiled streaming replay of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
+		}
+		return &EngineStats{
+			Engine:     EngineCompiled,
+			Workers:    w,
+			Reps:       reps,
+			ProgramOps: st.prog.Ops(),
+			TrimmedOps: st.prog.TrimmedOps(),
+		}
+	case st.tr != nil:
+		w, reps, err := sim.ShardsStream(st.tr, src, chunk, workers, drop, sink)
+		if err != nil {
+			panic(fmt.Sprintf("coverage: bitpar streaming replay of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
+		}
+		return &EngineStats{Engine: EngineBitParallel, Workers: w, Reps: reps}
+	default:
+		// Chunked oracle: the generic driver pulls and filters chunks,
+		// the replay closure runs the full algorithm once per fault.
+		w, reps, err := sim.StreamShard(src, chunk, workers, drop, func() (func([]fault.Fault) (uint64, error), func()) {
+			return func(batch []fault.Fault) (uint64, error) {
+				var mask uint64
+				for i, f := range batch {
+					if d, _ := st.runner.Run(f.Inject(p.Memory())); d {
+						mask |= 1 << uint(i)
+					}
+				}
+				return mask, nil
+			}, nil
+		}, sink)
+		if err != nil {
+			panic(fmt.Sprintf("coverage: oracle streaming of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
+		}
+		return &EngineStats{Engine: EngineOracle, Workers: w, Reps: reps}
+	}
+}

@@ -1,0 +1,214 @@
+package coverage
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/prt"
+	"repro/internal/sim"
+)
+
+// The streaming-equivalence property (this PR's acceptance criterion):
+// for every universe family and all three engines, a streaming session
+// produces Results byte-identical to the materialized session over the
+// collected universe — across chunk sizes {1, 7, 4096}, with dropping
+// on and off.  Stats is diagnostic metadata outside the contract
+// (Reps and Workers legitimately differ between the executors) and is
+// zeroed before comparing.
+
+type streamFamily struct {
+	name    string
+	src     fault.Source
+	mk      MemoryFactory
+	runners []Runner
+}
+
+func streamFamilies() []streamFamily {
+	gen := prt.PaperWOMConfig().Gen
+	bgen := prt.PaperBOMConfig().Gen
+	bgs := march.DataBackgrounds(4)
+	wom := womFactory(16, 4)
+	bom := bomFactory(16)
+	womRunners := []Runner{
+		MarchRunner(march.MATSPlus(), bgs),
+		PRTRunner(prt.StandardScheme3(gen)),
+	}
+	bomRunners := []Runner{
+		MarchRunner(march.MarchCMinus(), nil),
+		PRTRunner(prt.StandardScheme3(bgen)),
+	}
+	pairs := append(fault.AdjacentPairs(16), fault.SamplePairs(16, 4, 8, 7)...)
+	return []streamFamily{
+		{"single-cell", fault.SingleCellSource(16, 4), wom, womRunners},
+		{"stuck-open", fault.StuckOpenSource(16), wom, womRunners},
+		{"retention", fault.RetentionSource(16, 4, 16), wom, womRunners},
+		{"decoder", fault.DecoderSource(16), wom, womRunners},
+		{"coupling", fault.CouplingSource(pairs), wom, womRunners},
+		{"full-coupling", fault.FullCouplingSource(9), bom, bomRunners},
+		{"intra-word", fault.IntraWordSource(16, 4), wom, womRunners},
+		{"npsf", fault.NPSFSource(16, 4, 3), bom, bomRunners},
+		{"anpsf", fault.ANPSFSource(16, 4, 5), bom, bomRunners},
+	}
+}
+
+func assertSessionsEqual(t *testing.T, label string, want, got *Session) {
+	t.Helper()
+	for i := range want.Results {
+		w, g := want.Results[i], got.Results[i]
+		w.Stats, g.Stats = nil, nil
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("%s runner %d: streaming Result differs\nmaterialized: %+v\nstreaming:    %+v", label, i, w, g)
+		}
+	}
+	if !reflect.DeepEqual(want.Cumulative, got.Cumulative) {
+		t.Errorf("%s: cumulative differs\nmaterialized: %+v\nstreaming:    %+v", label, want.Cumulative, got.Cumulative)
+	}
+	if !reflect.DeepEqual(want.Vectors, got.Vectors) {
+		t.Errorf("%s: verdict vectors differ", label)
+	}
+	if len(want.Stages) != len(got.Stages) {
+		t.Fatalf("%s: %d stages, want %d", label, len(got.Stages), len(want.Stages))
+	}
+	for i := range want.Stages {
+		w, g := want.Stages[i], got.Stages[i]
+		if w.Runner != g.Runner || w.Entered != g.Entered || w.Detected != g.Detected || w.Survivors != g.Survivors {
+			t.Errorf("%s stage %d: %s %d/%d→%d, want %s %d/%d→%d", label, i,
+				g.Runner, g.Detected, g.Entered, g.Survivors,
+				w.Runner, w.Detected, w.Entered, w.Survivors)
+		}
+	}
+}
+
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	engines := []Engine{EngineOracle, EngineBitParallel, EngineCompiled}
+	chunks := []int{1, 7, 4096}
+	families := streamFamilies()
+	if testing.Short() {
+		engines = engines[1:] // drop the slow chunk-1 oracle under -race
+		chunks = []int{7}
+		families = families[:4]
+	}
+	for _, fam := range families {
+		u := fault.Universe{Name: fam.name, Faults: fault.Collect(fam.src)}
+		for _, engine := range engines {
+			for _, drop := range []bool{false, true} {
+				base := (&Plan{
+					Runners: fam.runners, Universe: u, Memory: fam.mk,
+					Workers: 4, Engine: engine, Drop: drop, KeepVectors: true,
+				}).Run()
+				for _, chunk := range chunks {
+					label := fmt.Sprintf("%s [%s drop=%v chunk=%d]", fam.name, engine, drop, chunk)
+					got := (&Plan{
+						Runners: fam.runners,
+						Stream:  &fault.Stream{Name: fam.name, Source: fam.src},
+						Chunk:   chunk, Memory: fam.mk,
+						Workers: 4, Engine: engine, Drop: drop, KeepVectors: true,
+					}).Run()
+					assertSessionsEqual(t, label, base, got)
+				}
+			}
+		}
+	}
+}
+
+// Streaming sessions must also respect execution ordering and the
+// program cache, like their materialized counterparts.
+func TestStreamingCheapestFirstAndCache(t *testing.T) {
+	fam := streamFamilies()[0]
+	u := fault.Universe{Name: fam.name, Faults: fault.Collect(fam.src)}
+	cache := sim.NewProgramCache()
+	mkPlan := func(stream bool) *Plan {
+		p := &Plan{
+			Runners: fam.runners, Memory: fam.mk, Workers: 4,
+			Engine: EngineCompiled, Drop: true, Order: OrderCheapestFirst,
+			KeepVectors: true, Cache: cache,
+		}
+		if stream {
+			p.Stream = &fault.Stream{Name: fam.name, Source: fam.src}
+			p.Chunk = 64
+		} else {
+			p.Universe = u
+		}
+		return p
+	}
+	want := mkPlan(false).Run()
+	got := mkPlan(true).Run()
+	assertSessionsEqual(t, "cheapest-first", want, got)
+	// Second streaming run: every stage must hit the program cache.
+	again := mkPlan(true).Run()
+	for i, st := range again.Stages {
+		if !st.CacheHit {
+			t.Errorf("stage %d (%s): expected a program cache hit on the second run", i, st.Runner)
+		}
+	}
+	assertSessionsEqual(t, "cached rerun", want, again)
+}
+
+// guardSource interposes on a Source to sample the live heap every few
+// chunk pulls.
+type guardSource struct {
+	fault.Source
+	pulls int
+	every int
+	cb    func()
+}
+
+func (g *guardSource) Next(dst []fault.Fault) (int, bool) {
+	g.pulls++
+	if g.pulls%g.every == 0 {
+		g.cb()
+	}
+	return g.Source.Next(dst)
+}
+
+// TestStreamingMemoryBoundedByChunk is the memory guard: an exhaustive
+// coupling universe of ~783K instances streams through the compiled
+// engine with a 2K chunk while the live heap (sampled after forced
+// GCs mid-run) must stay within a small constant budget — materializing
+// the same universe costs ~50 MB of fault headers alone, so an O(
+// universe) regression trips the assertion with a wide margin.
+func TestStreamingMemoryBoundedByChunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap-sampling guard: skipped under -short/-race")
+	}
+	const n = 256
+	const chunkSize = 2048
+	src := fault.FullCouplingSource(n)
+	count, _ := src.Count()
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var peak uint64
+	g := &guardSource{Source: src, every: 48, cb: func() {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapAlloc > peak {
+			peak = m.HeapAlloc
+		}
+	}}
+	p := Plan{
+		Runners: []Runner{MarchRunner(march.MATSPlus(), nil)},
+		Stream:  &fault.Stream{Name: "cf-exhaustive", Source: g},
+		Chunk:   chunkSize,
+		Memory:  bomFactory(n),
+		Workers: 4,
+		Engine:  EngineCompiled,
+	}
+	res := p.Run().Results[0]
+	if res.Total != count {
+		t.Fatalf("streamed %d faults, want %d", res.Total, count)
+	}
+	if g.pulls < count/chunkSize {
+		t.Fatalf("only %d chunk pulls for %d faults at chunk %d", g.pulls, count, chunkSize)
+	}
+	const budget = 16 << 20 // chunk buffers + arenas + bitmaps + GC slack
+	if peak > m0.HeapAlloc+budget {
+		t.Errorf("peak live heap grew %d bytes over baseline (budget %d): fault storage is not O(chunk)",
+			peak-m0.HeapAlloc, budget)
+	}
+}

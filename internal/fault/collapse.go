@@ -72,6 +72,15 @@ func (c *Collapsed) Expand(rep []bool) []bool {
 	return out
 }
 
+// ExpandInto is Expand into a caller-provided buffer of len(Map) —
+// the streaming drivers' per-chunk expansion, which reuses one worker
+// buffer across every chunk of a campaign.
+func (c *Collapsed) ExpandInto(dst, rep []bool) {
+	for i, r := range c.Map {
+		dst[i] = rep[r]
+	}
+}
+
 // Saved returns how many simulations collapsing avoids.
 func (c *Collapsed) Saved() int { return len(c.Map) - len(c.Reps) }
 

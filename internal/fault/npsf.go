@@ -179,46 +179,12 @@ func (m *anpsfMem) Write(addr int, v ram.Word) {
 // patterns × forced values 0/1 would be 32 per cell; to keep campaign
 // sizes workable the patterns are subsampled with stride (1 = all).
 func NPSFUniverse(n, width, stride int) []Fault {
-	if stride < 1 {
-		stride = 1
-	}
-	var out []Fault
-	for base := 0; base < n; base++ {
-		nb := GridNeighbourhood(base, n, width)
-		if !nb.Complete() {
-			continue
-		}
-		for p := ram.Word(0); p < 16; p += ram.Word(stride) {
-			out = append(out,
-				SNPSF{Nb: nb, Pattern: p, Value: 0},
-				SNPSF{Nb: nb, Pattern: p, Value: 1},
-			)
-		}
-	}
-	return out
+	return Collect(NPSFSource(n, width, stride))
 }
 
 // ANPSFUniverse enumerates active NPSF faults: per interior cell, each
 // of the four neighbours as trigger, both directions, with the
 // complementary pattern subsampled by stride.
 func ANPSFUniverse(n, width, stride int) []Fault {
-	if stride < 1 {
-		stride = 1
-	}
-	var out []Fault
-	for base := 0; base < n; base++ {
-		nb := GridNeighbourhood(base, n, width)
-		if !nb.Complete() {
-			continue
-		}
-		for trig := 0; trig < 4; trig++ {
-			for p := ram.Word(0); p < 16; p += ram.Word(stride) {
-				out = append(out,
-					ANPSF{Nb: nb, Trigger: trig, Up: true, Pattern: p, Value: 0},
-					ANPSF{Nb: nb, Trigger: trig, Up: false, Pattern: p, Value: 1},
-				)
-			}
-		}
-	}
-	return out
+	return Collect(ANPSFSource(n, width, stride))
 }

@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"testing"
+)
+
+// Every streaming builder must reproduce its materialized constructor
+// exactly: same count, same faults, same order — whatever the pull
+// granularity — and must be resumable (Reset rewinds).
+
+func sourceCases() []struct {
+	name string
+	src  Source
+	want []Fault
+} {
+	pairs := append(AdjacentPairs(9), SamplePairs(9, 4, 6, 3)...)
+	return []struct {
+		name string
+		src  Source
+		want []Fault
+	}{
+		{"single-cell", SingleCellSource(7, 4), SingleCellUniverse(7, 4)},
+		{"stuck-open", StuckOpenSource(11), StuckOpenUniverse(11)},
+		{"retention", RetentionSource(5, 3, 64), RetentionUniverse(5, 3, 64)},
+		{"decoder", DecoderSource(9), DecoderUniverse(9)},
+		{"coupling", CouplingSource(pairs), CouplingUniverse(pairs)},
+		{"intra-word", IntraWordSource(6, 4), IntraWordUniverse(6, 4)},
+		{"npsf", NPSFSource(30, 6, 3), NPSFUniverse(30, 6, 3)},
+		{"anpsf", ANPSFSource(30, 6, 5), ANPSFUniverse(30, 6, 5)},
+		{"slice", SliceSource(StuckOpenUniverse(4)), StuckOpenUniverse(4)},
+		{"concat", ConcatSource(StuckOpenSource(3), DecoderSource(4)),
+			append(StuckOpenUniverse(3), DecoderUniverse(4)...)},
+	}
+}
+
+func drain(t *testing.T, s Source, chunk int) []Fault {
+	t.Helper()
+	var out []Fault
+	buf := make([]Fault, chunk)
+	for {
+		n, ok := s.Next(buf)
+		out = append(out, buf[:n]...)
+		if !ok {
+			break
+		}
+		if n == 0 {
+			t.Fatal("source stalled: Next returned (0, true)")
+		}
+	}
+	return out
+}
+
+func TestSourcesMatchMaterializedConstructors(t *testing.T) {
+	for _, tc := range sourceCases() {
+		n, exact := tc.src.Count()
+		if !exact || n != len(tc.want) {
+			t.Errorf("%s: Count = (%d, %v), want (%d, true)", tc.name, n, exact, len(tc.want))
+		}
+		for _, chunk := range []int{1, 7, 4096} {
+			tc.src.Reset()
+			got := drain(t, tc.src, chunk)
+			if len(got) != len(tc.want) {
+				t.Fatalf("%s chunk=%d: %d faults, want %d", tc.name, chunk, len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("%s chunk=%d: fault %d = %v, want %v", tc.name, chunk, i, got[i], tc.want[i])
+				}
+			}
+		}
+		// Reset mid-stream rewinds to the first fault.
+		tc.src.Reset()
+		buf := make([]Fault, 3)
+		tc.src.Next(buf)
+		tc.src.Reset()
+		if n, _ := tc.src.Next(buf[:1]); n != 1 || buf[0] != tc.want[0] {
+			t.Errorf("%s: Reset did not rewind (got %v)", tc.name, buf[0])
+		}
+	}
+}
+
+func TestFullCouplingSourceExhaustive(t *testing.T) {
+	const n = 5
+	src := FullCouplingSource(n)
+	count, exact := src.Count()
+	if want := n * (n - 1) * 12; !exact || count != want {
+		t.Fatalf("Count = (%d, %v), want (%d, true)", count, exact, want)
+	}
+	faults := Collect(src)
+	// Every ordered (aggressor, victim) pair appears exactly 12 times,
+	// with the per-pair sub-type order of CouplingUniverse.
+	seen := make(map[[2]int]int)
+	for _, f := range faults {
+		switch c := f.(type) {
+		case CFin:
+			seen[[2]int{c.AggCell, c.VicCell}]++
+		case CFid:
+			seen[[2]int{c.AggCell, c.VicCell}]++
+		case CFst:
+			seen[[2]int{c.AggCell, c.VicCell}]++
+		case BF:
+			seen[[2]int{c.CellA, c.CellB}]++
+		default:
+			t.Fatalf("unexpected fault type %T", f)
+		}
+	}
+	for a := 0; a < n; a++ {
+		for v := 0; v < n; v++ {
+			want := 12
+			if a == v {
+				want = 0
+			}
+			if seen[[2]int{a, v}] != want {
+				t.Errorf("pair (%d,%d): %d faults, want %d", a, v, seen[[2]int{a, v}], want)
+			}
+		}
+	}
+	// The sub-type expansion matches CouplingUniverse's for the same
+	// pair.
+	want := CouplingUniverse([]CouplingPair{{AggCell: 0, VicCell: 1}})
+	for i := 0; i < 12; i++ {
+		if faults[i] != want[i] {
+			t.Errorf("sub-type %d: %v, want %v", i, faults[i], want[i])
+		}
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	b := NewBitSet(100)
+	for _, i := range []int{0, 63, 64, 99} {
+		if b.Get(i) {
+			t.Fatalf("fresh bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 3 {
+		t.Fatalf("Clear failed: get=%v count=%d", b.Get(64), b.Count())
+	}
+	// Growth beyond the initial capacity; reads past the end are false.
+	b.Set(1000)
+	if !b.Get(1000) || b.Get(5000) {
+		t.Fatal("grown Set/OOB Get wrong")
+	}
+	c := b.Clone()
+	c.Clear(0)
+	if !b.Get(0) || c.Get(0) {
+		t.Fatal("Clone not independent")
+	}
+}
+
+func TestBitViewMatchesWhere(t *testing.T) {
+	faults := SingleCellUniverse(10, 1) // 40 faults
+	keep := func(i int) bool { return i%3 != 1 }
+	want := Span(faults).Where(keep)
+	bits := NewBitSet(len(faults))
+	for i := range faults {
+		if keep(i) {
+			bits.Set(i)
+		}
+	}
+	v := NewBitView(faults, bits)
+	if v.Full() || v.Len() != want.Len() {
+		t.Fatalf("bitview: full=%v len=%d want %d", v.Full(), v.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if v.At(i) != want.At(i) || v.Index(i) != want.Index(i) {
+			t.Fatalf("position %d: At=%v Index=%d, want At=%v Index=%d",
+				i, v.At(i), v.Index(i), want.At(i), want.Index(i))
+		}
+	}
+	scratch := make([]Fault, 0, 8)
+	for lo := 0; lo < v.Len(); lo += 7 {
+		hi := lo + 7
+		if hi > v.Len() {
+			hi = v.Len()
+		}
+		got := v.Batch(scratch, lo, hi)
+		ref := want.Batch(nil, lo, hi)
+		if len(got) != len(ref) {
+			t.Fatalf("batch [%d,%d): len %d want %d", lo, hi, len(got), len(ref))
+		}
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Fatalf("batch [%d,%d) pos %d: %v want %v", lo, hi, j, got[j], ref[j])
+			}
+		}
+	}
+	// Where composes onto the original backing indices.
+	sub := v.Where(func(i int) bool { return i%2 == 0 })
+	wantSub := want.Where(func(i int) bool { return i%2 == 0 })
+	if sub.Len() != wantSub.Len() {
+		t.Fatalf("where len %d want %d", sub.Len(), wantSub.Len())
+	}
+	for i := 0; i < sub.Len(); i++ {
+		if sub.Index(i) != wantSub.Index(i) {
+			t.Fatalf("where pos %d: index %d want %d", i, sub.Index(i), wantSub.Index(i))
+		}
+	}
+	// The view snapshots the bitmap: clearing a bit afterwards does not
+	// move it.
+	bits.Clear(v.Index(0))
+	if v.Len() != want.Len() {
+		t.Fatal("BitView tracked a post-construction BitSet mutation")
+	}
+}
+
+func TestBitViewFullAliasesBacking(t *testing.T) {
+	faults := StuckOpenUniverse(70)
+	bits := NewBitSet(len(faults))
+	for i := range faults {
+		bits.Set(i)
+	}
+	v := NewBitView(faults, bits)
+	if !v.Full() || v.Len() != len(faults) {
+		t.Fatalf("full bitview: full=%v len=%d", v.Full(), v.Len())
+	}
+	b := v.Batch(nil, 3, 9)
+	if len(b) != 6 || &b[0] != &faults[3] {
+		t.Error("full BitView Batch must alias the backing slice")
+	}
+	// Bits beyond the backing slice are ignored.
+	bits.Set(len(faults) + 5)
+	if NewBitView(faults, bits).Len() != len(faults) {
+		t.Error("out-of-range bit counted")
+	}
+}

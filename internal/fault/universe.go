@@ -2,8 +2,6 @@ package fault
 
 import (
 	"fmt"
-
-	"repro/internal/ram"
 )
 
 // rng is a small deterministic xorshift64* generator so fault-universe
@@ -37,42 +35,18 @@ func (r *rng) intn(n int) int {
 // SingleCellUniverse enumerates every SAF and TF instance of an
 // n-cell, m-bit memory: 4 faults per bit (SA0, SA1, TF↑, TF↓).
 func SingleCellUniverse(n, m int) []Fault {
-	out := make([]Fault, 0, 4*n*m)
-	for c := 0; c < n; c++ {
-		for b := 0; b < m; b++ {
-			out = append(out,
-				SAF{Cell: c, Bit: b, Value: 0},
-				SAF{Cell: c, Bit: b, Value: 1},
-				TF{Cell: c, Bit: b, Up: true},
-				TF{Cell: c, Bit: b, Up: false},
-			)
-		}
-	}
-	return out
+	return Collect(SingleCellSource(n, m))
 }
 
 // StuckOpenUniverse enumerates one SOF per cell.
 func StuckOpenUniverse(n int) []Fault {
-	out := make([]Fault, n)
-	for c := 0; c < n; c++ {
-		out[c] = SOF{Cell: c}
-	}
-	return out
+	return Collect(StuckOpenSource(n))
 }
 
 // RetentionUniverse enumerates DRF faults (decay to 0 and to 1) for
 // every bit, with the given decay delay in operations.
 func RetentionUniverse(n, m int, delay uint64) []Fault {
-	out := make([]Fault, 0, 2*n*m)
-	for c := 0; c < n; c++ {
-		for b := 0; b < m; b++ {
-			out = append(out,
-				DRF{Cell: c, Bit: b, Decay: 0, Delay: delay},
-				DRF{Cell: c, Bit: b, Decay: 1, Delay: delay},
-			)
-		}
-	}
-	return out
+	return Collect(RetentionSource(n, m, delay))
 }
 
 // DecoderUniverse enumerates address-decoder faults: for each address,
@@ -80,19 +54,7 @@ func RetentionUniverse(n, m int, delay uint64) []Fault {
 // (the next address, wrapping) — the functional reductions of van de
 // Goor's four decoder fault classes.
 func DecoderUniverse(n int) []Fault {
-	if n < 2 {
-		panic("fault: decoder universe needs at least 2 cells")
-	}
-	out := make([]Fault, 0, 3*n)
-	for a := 0; a < n; a++ {
-		partner := (a + 1) % n
-		out = append(out,
-			AF{Kind: AFNone, Addr: a},
-			AF{Kind: AFAlias, Addr: a, Target: partner},
-			AF{Kind: AFMulti, Addr: a, Target: partner},
-		)
-	}
-	return out
+	return Collect(DecoderSource(n))
 }
 
 // CouplingPair is an aggressor/victim bit pair used by the coupling
@@ -149,51 +111,14 @@ func AdjacentPairs(n int) []CouplingPair {
 // — all four force the victim) and 2 BF (AND, OR), i.e. 12 faults per
 // pair.
 func CouplingUniverse(pairs []CouplingPair) []Fault {
-	out := make([]Fault, 0, 12*len(pairs))
-	for _, p := range pairs {
-		for _, up := range []bool{true, false} {
-			out = append(out, CFin{p.AggCell, p.AggBit, p.VicCell, p.VicBit, up})
-			for _, v := range []ram.Word{0, 1} {
-				out = append(out, CFid{p.AggCell, p.AggBit, p.VicCell, p.VicBit, up, v})
-			}
-		}
-		for _, av := range []ram.Word{0, 1} {
-			for _, v := range []ram.Word{0, 1} {
-				out = append(out, CFst{p.AggCell, p.AggBit, p.VicCell, p.VicBit, av, v})
-			}
-		}
-		out = append(out,
-			BF{p.AggCell, p.AggBit, p.VicCell, p.VicBit, true},
-			BF{p.AggCell, p.AggBit, p.VicCell, p.VicBit, false},
-		)
-	}
-	return out
+	return Collect(CouplingSource(pairs))
 }
 
 // IntraWordUniverse enumerates intra-word coupling faults for every
 // ordered bit pair of every cell: CFin ↑/↓ and CFid ↑/↓ × 0/1 (6 per
 // ordered pair).  Requires m >= 2.
 func IntraWordUniverse(n, m int) []Fault {
-	if m < 2 {
-		panic("fault: intra-word universe needs word width >= 2")
-	}
-	var out []Fault
-	for c := 0; c < n; c++ {
-		for ba := 0; ba < m; ba++ {
-			for bv := 0; bv < m; bv++ {
-				if ba == bv {
-					continue
-				}
-				for _, up := range []bool{true, false} {
-					out = append(out, CFin{c, ba, c, bv, up})
-					for _, v := range []ram.Word{0, 1} {
-						out = append(out, CFid{c, ba, c, bv, up, v})
-					}
-				}
-			}
-		}
-	}
-	return out
+	return Collect(IntraWordSource(n, m))
 }
 
 // Universe is a named collection of faults for a campaign.

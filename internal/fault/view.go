@@ -1,53 +1,74 @@
 package fault
 
-// View is a cheap subset of a fault slice: the shared backing slice
-// plus an optional index list.  No fault instances are copied — a view
-// of a million-fault universe is one slice header and (for proper
-// subsets) a []int32 of positions — so the campaign session layer can
-// narrow a universe test after test (cross-test fault dropping) without
-// rebuilding fault slices.  The zero value is an empty view.
-type View struct {
+// View is a cheap subset of a fault slice: no fault instances are
+// copied, only the shared backing slice plus a subset description.
+// The campaign session layer narrows a universe test after test
+// (cross-test fault dropping) through views instead of rebuilding
+// fault slices.  Two implementations exist: the index view returned by
+// Span/Where (a []int32 of kept positions) and BitView (a survivor
+// bitmap plus rank directory — N bits however small the subset).
+type View interface {
+	// Len returns the number of faults in the view.
+	Len() int
+	// At returns the fault at view position i.
+	At(i int) Fault
+	// Index maps view position i to its position in the backing slice.
+	Index(i int) int
+	// Full reports whether the view spans its whole backing slice
+	// without indirection.
+	Full() bool
+	// Batch returns view positions [lo, hi) as a contiguous fault
+	// slice: the backing subslice directly for a full view (zero
+	// copying — the common first-stage case), otherwise the headers
+	// gathered into scratch (grown as needed).  Replay drivers pass a
+	// per-worker scratch so steady-state batches allocate nothing.
+	Batch(scratch []Fault, lo, hi int) []Fault
+	// Where returns the sub-view of positions the predicate keeps,
+	// composed onto the same backing slice (indices remain positions in
+	// the original slice, so detection scatter stays exact across
+	// chained narrowing).
+	Where(keep func(i int) bool) View
+}
+
+// sliceView is the index implementation of View: the backing slice
+// plus an optional position list (nil = the whole slice).
+type sliceView struct {
 	faults []Fault
 	idx    []int32 // positions into faults; nil = the whole slice
 }
 
 // Span returns the identity view over the whole slice.
-func Span(faults []Fault) View { return View{faults: faults} }
+func Span(faults []Fault) View { return sliceView{faults: faults} }
 
-// Len returns the number of faults in the view.
-func (v View) Len() int {
+// Len implements View.
+func (v sliceView) Len() int {
 	if v.idx != nil {
 		return len(v.idx)
 	}
 	return len(v.faults)
 }
 
-// At returns the fault at view position i.
-func (v View) At(i int) Fault {
+// At implements View.
+func (v sliceView) At(i int) Fault {
 	if v.idx != nil {
 		return v.faults[v.idx[i]]
 	}
 	return v.faults[i]
 }
 
-// Index maps view position i to its position in the backing slice.
-func (v View) Index(i int) int {
+// Index implements View.
+func (v sliceView) Index(i int) int {
 	if v.idx != nil {
 		return int(v.idx[i])
 	}
 	return i
 }
 
-// Full reports whether the view spans its whole backing slice without
-// an index indirection.
-func (v View) Full() bool { return v.idx == nil }
+// Full implements View.
+func (v sliceView) Full() bool { return v.idx == nil }
 
-// Batch returns view positions [lo, hi) as a contiguous fault slice:
-// the backing subslice directly for a full view (zero copying — the
-// common first-stage case), otherwise the headers gathered into
-// scratch (grown as needed).  Replay drivers pass a per-worker scratch
-// so steady-state batches allocate nothing.
-func (v View) Batch(scratch []Fault, lo, hi int) []Fault {
+// Batch implements View.
+func (v sliceView) Batch(scratch []Fault, lo, hi int) []Fault {
 	if v.idx == nil {
 		return v.faults[lo:hi]
 	}
@@ -58,11 +79,8 @@ func (v View) Batch(scratch []Fault, lo, hi int) []Fault {
 	return scratch
 }
 
-// Where returns the sub-view of positions the predicate keeps,
-// composed onto the same backing slice (indices remain positions in
-// the original slice, so detection scatter stays exact across chained
-// narrowing).
-func (v View) Where(keep func(i int) bool) View {
+// Where implements View.
+func (v sliceView) Where(keep func(i int) bool) View {
 	n := v.Len()
 	idx := make([]int32, 0, n)
 	for i := 0; i < n; i++ {
@@ -70,5 +88,5 @@ func (v View) Where(keep func(i int) bool) View {
 			idx = append(idx, int32(v.Index(i)))
 		}
 	}
-	return View{faults: v.faults, idx: idx}
+	return sliceView{faults: v.faults, idx: idx}
 }

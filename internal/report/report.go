@@ -138,7 +138,10 @@ func (t *Table) CSV(w io.Writer) {
 func writeCSVRow(w io.Writer, cells []string) {
 	parts := make([]string, len(cells))
 	for i, c := range cells {
-		if strings.ContainsAny(c, ",\"\n") {
+		// RFC 4180 quoting: a cell containing a separator, a quote or a
+		// line break (either CR or LF) is wrapped in quotes with inner
+		// quotes doubled; anything else passes through verbatim.
+		if strings.ContainsAny(c, ",\"\n\r") {
 			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
 		}
 		parts[i] = c

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -86,6 +87,68 @@ func TestJSONL(t *testing.T) {
 	_ = json.Unmarshal([]byte(lines[2]), &third)
 	if _, ok := third["coverage"]; ok {
 		t.Errorf("missing cell invented a value: %v", third)
+	}
+}
+
+// TestCSVRoundTrip: a standards-compliant CSV reader must recover
+// every cell byte for byte, whatever separators, quotes or line breaks
+// the cells contain — the emitter's actual contract, stronger than
+// spot-checking the quoting.
+func TestCSVRoundTrip(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	rows := [][]string{
+		{"plain", "with,comma", "tr,icky\"end"},
+		{"quo\"te", "multi\nline", "cr\rcell"},
+		{"", "\"\"", ",\n\r\","},
+	}
+	for _, r := range rows {
+		tb.AddRowf(r...)
+	}
+	var b strings.Builder
+	tb.CSV(&b)
+	rd := csv.NewReader(strings.NewReader(b.String()))
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%q", err, b.String())
+	}
+	want := append([][]string{{"a", "b", "c"}}, rows...)
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			cell := want[i][j]
+			// encoding/csv normalizes \r\n inside quoted cells to \n; a
+			// lone \r survives only as part of that normalization, so
+			// compare against the normalized form.
+			cell = strings.ReplaceAll(cell, "\r\n", "\n")
+			if got[i][j] != cell {
+				t.Errorf("record %d cell %d: %q, want %q", i, j, got[i][j], cell)
+			}
+		}
+	}
+}
+
+// TestJSONLSpecialCharacters: quotes, backslashes, newlines and other
+// control characters in cells and headers must survive a JSON parse.
+func TestJSONLSpecialCharacters(t *testing.T) {
+	tb := New("title \"q\" \\ \n end", "col,1", "col\n2")
+	tb.AddRowf("a\"b\\c", "line1\nline2\ttab\rcr")
+	var b strings.Builder
+	tb.JSONL(&b)
+	line := strings.TrimSuffix(b.String(), "\n")
+	if strings.Contains(line, "\n") {
+		t.Fatalf("JSONL record spans lines: %q", line)
+	}
+	var obj map[string]string
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("emitted JSONL does not parse: %v (%q)", err, line)
+	}
+	if obj["table"] != "title \"q\" \\ \n end" {
+		t.Errorf("title corrupted: %q", obj["table"])
+	}
+	if obj["col,1"] != "a\"b\\c" || obj["col\n2"] != "line1\nline2\ttab\rcr" {
+		t.Errorf("cells corrupted: %v", obj)
 	}
 }
 

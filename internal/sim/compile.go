@@ -128,7 +128,7 @@ type Program struct {
 	// dense marks traces that write most of the array (full-array test
 	// algorithms): per-cell dirty tracking would record nearly every
 	// cell, so arenas skip it and restore wholesale between batches.
-	dense  bool
+	dense bool
 	// expect holds per cell-bit the checked-read polarity sets plus the
 	// fault.ExpectFolded flag for bits feeding a signature observer;
 	// see fault.TraceSummary.

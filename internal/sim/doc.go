@@ -90,6 +90,23 @@
 //     history shape) with a full state reset, and ArenaPool recycles
 //     arenas between a session's stages.
 //
+// On top of the sharded drivers sits the streaming layer (stream.go):
+// ShardsStream / ShardsCompiledStream pull the fault universe from a
+// fault.Source in fixed-size chunks instead of taking a materialized
+// slice, so a campaign's resident fault storage is O(chunk × workers)
+// — the universe size stops being a memory bound (the regime of
+// exhaustive multi-million-fault coupling universes, experiment E17).
+// Each worker owns one reusable chunk buffer plus its arena; chunks
+// are claimed under a source mutex, optionally filtered against a
+// dropped-fault bitmap (fault.BitSet — the session layer's cross-test
+// dropping), structurally collapsed chunk-locally (representatives
+// and their expansion never outlive the chunk), replayed as 64-machine
+// batches, and the verdicts delivered to a serialized per-chunk sink
+// keyed by universe index — so order-insensitive sinks (tallies,
+// bitmaps) observe deterministic results whatever the chunk
+// scheduling.  StreamShard exposes the same loop over a caller-
+// supplied replay function (package coverage's chunked oracle).
+//
 // The engine is exact, not approximate: package coverage cross-checks
 // all of it against the per-fault oracle path, and the equivalence
 // property tests assert identical per-class results over full fault

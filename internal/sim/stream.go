@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+)
+
+// This file is the streaming campaign layer: the fault universe is
+// pulled from a fault.Source in fixed-size chunks instead of being
+// materialized as one slice, so a campaign's resident fault storage is
+// O(chunk × workers) — the universe size stops being a memory bound
+// and becomes pure simulation time.  Each worker owns one reusable
+// chunk buffer (plus, on the compiled path, its arena); chunks are
+// claimed from the source under a mutex, replayed as 64-machine
+// batches, and the per-chunk verdicts handed to a sink callback that
+// the driver serializes, so sinks need no locking of their own.
+// Chunk completion order is scheduling-dependent, but every verdict is
+// keyed by its universe index, so any order-insensitive sink (tallies,
+// bitmaps) observes deterministic results.
+
+// DefaultChunk is the fault count pulled per chunk when the caller
+// passes chunk <= 0: large enough to amortize the per-chunk costs
+// (source lock, collapse map, sink call) over thousands of batches,
+// small enough that a worker's resident faults stay ~100s of KB.
+const DefaultChunk = 8192
+
+// ChunkSink receives one chunk's verdicts: faults[i] is universe fault
+// idx[i] and detected[i] its verdict.  The driver serializes sink
+// calls; the slices are reused for the next chunk, so sinks must not
+// retain them.
+type ChunkSink func(idx []int, faults []fault.Fault, detected []bool)
+
+// StreamShard drives a streaming campaign over a generic replay
+// function: workers pull chunks from src (chunk <= 0 selects
+// DefaultChunk, workers <= 0 GOMAXPROCS), skip faults whose universe
+// index is set in drop (nil keeps everything — the survivor filter of
+// cross-test fault dropping), replay the rest in 64-fault batches
+// through their private replay function, and deliver verdicts to sink.
+// It returns the worker count and how many faults were simulated
+// (after drop filtering; collapsing on the compiled wrapper reduces it
+// further).
+func StreamShard(src fault.Source, chunk, workers int, drop *fault.BitSet,
+	newWorker func() (replay func(batch []fault.Fault) (uint64, error), done func()),
+	sink ChunkSink) (int, int, error) {
+	return streamShard(src, chunk, workers, drop, nil, newWorker, sink)
+}
+
+// ShardsStream replays a recorded trace over a streaming universe with
+// the per-batch interpreter — the reference streaming path, mirroring
+// Shards.
+func ShardsStream(tr *Trace, src fault.Source, chunk, workers int, drop *fault.BitSet, sink ChunkSink) (int, int, error) {
+	return streamShard(src, chunk, workers, drop, nil, func() (func([]fault.Fault) (uint64, error), func()) {
+		return func(batch []fault.Fault) (uint64, error) {
+			return ReplayBatch(tr, batch)
+		}, nil
+	}, sink)
+}
+
+// ShardsCompiledStream replays a compiled program over a streaming
+// universe: one arena per worker, reused across every batch of every
+// chunk (optionally drawn from a pool).  When collapse is true each
+// chunk is structurally collapsed before replay and the representative
+// verdicts expanded back chunk-locally, so collapsing never needs the
+// whole universe in memory either.
+func ShardsCompiledStream(p *Program, src fault.Source, chunk, workers int, drop *fault.BitSet,
+	collapse bool, arenas *ArenaPool, sink ChunkSink) (int, int, error) {
+	var sum *fault.TraceSummary
+	if collapse {
+		s := p.Summary()
+		sum = &s
+	}
+	return streamShard(src, chunk, workers, drop, sum, func() (func([]fault.Fault) (uint64, error), func()) {
+		a := arenas.Get(p)
+		return func(batch []fault.Fault) (uint64, error) {
+			return p.Replay(a, batch)
+		}, func() { arenas.Put(a) }
+	}, sink)
+}
+
+// streamShard is the shared driver; sum non-nil enables per-chunk
+// structural collapsing.
+func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *fault.TraceSummary,
+	newWorker func() (func([]fault.Fault) (uint64, error), func()),
+	sink ChunkSink) (int, int, error) {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		srcMu     sync.Mutex
+		base      int
+		exhausted bool
+		sinkMu    sync.Mutex
+		stop      atomic.Bool
+		reps      atomic.Int64
+	)
+	// pull claims the next chunk (its universe base index and length)
+	// under the source lock; ok is false once the stream is drained.
+	pull := func(buf []fault.Fault) (b, n int, ok bool) {
+		srcMu.Lock()
+		defer srcMu.Unlock()
+		if exhausted {
+			return 0, 0, false
+		}
+		n, more := src.Next(buf)
+		b = base
+		base += n
+		if !more {
+			exhausted = true
+		}
+		return b, n, true
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			replay, done := newWorker()
+			if done != nil {
+				defer done()
+			}
+			buf := make([]fault.Fault, chunk)
+			idx := make([]int, chunk)
+			det := make([]bool, chunk)
+			repDet := make([]bool, chunk)
+			for !stop.Load() {
+				b, n, ok := pull(buf)
+				if !ok {
+					return
+				}
+				faults := buf[:n]
+				ids := idx[:0]
+				if drop != nil {
+					kept := faults[:0]
+					for i, f := range faults {
+						if !drop.Get(b + i) {
+							kept = append(kept, f)
+							ids = append(ids, b+i)
+						}
+					}
+					faults = kept
+				} else {
+					for i := range faults {
+						ids = append(ids, b+i)
+					}
+				}
+				if len(faults) == 0 {
+					continue
+				}
+				// Per-chunk collapsing: equivalence classes are computed
+				// among the chunk's survivors only and expanded back before
+				// the chunk leaves the worker — nothing outlives the chunk.
+				r := faults
+				var col fault.Collapsed
+				if sum != nil {
+					col = fault.Collapse(faults, sum)
+					r = col.Reps
+				}
+				reps.Add(int64(len(r)))
+				rd := repDet[:len(r)]
+				failed := false
+				for lo := 0; lo < len(r); lo += BatchSize {
+					hi := lo + BatchSize
+					if hi > len(r) {
+						hi = len(r)
+					}
+					mask, err := replay(r[lo:hi])
+					if err != nil {
+						errs[w] = err
+						stop.Store(true)
+						failed = true
+						break
+					}
+					for i := lo; i < hi; i++ {
+						rd[i] = mask>>uint(i-lo)&1 == 1
+					}
+				}
+				if failed {
+					return
+				}
+				d := det[:len(faults)]
+				if sum != nil {
+					col.ExpandInto(d, rd)
+				} else {
+					copy(d, rd)
+				}
+				sinkMu.Lock()
+				sink(ids, faults, d)
+				sinkMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return workers, int(reps.Load()), err
+		}
+	}
+	return workers, int(reps.Load()), nil
+}

@@ -165,8 +165,8 @@ func TestAllExperimentsBuild(t *testing.T) {
 		t.Skip("full experiment sweep is slow")
 	}
 	tables := AllExperiments()
-	if len(tables) != 16 {
-		t.Fatalf("expected 16 experiment tables, got %d", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 experiment tables, got %d", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.String() == "" || len(tb.Rows) == 0 {
