@@ -22,6 +22,7 @@ import (
 	"repro/internal/prt"
 	"repro/internal/ram"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/xorsynth"
 )
 
@@ -415,6 +416,39 @@ func BenchmarkStreamingCampaign(b *testing.B) {
 			b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead guards the "near-free when detached,
+// cheap when attached" telemetry contract on the hottest path: the
+// compiled engine over the 1K acceptance universe.  "off" runs with no
+// registry attached (one nil pointer load per batch); "on" attaches a
+// registry with no progress callback, so every batch also flushes its
+// worker-local counters into the padded atomic slots.  The two
+// sub-benches should stay within ~2% of each other.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const n = 1024
+	u := fault.Universe{Name: "saf+cf", Faults: append(
+		fault.SingleCellUniverse(n, 1),
+		fault.CouplingUniverse(fault.AdjacentPairs(n))...)}
+	mk := func() ram.Memory { return ram.NewBOM(n) }
+	r := coverage.MarchRunner(march.MarchCMinus(), nil)
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := coverage.CampaignEngine(r, u, mk, 0, coverage.EngineCompiled)
+			sink = uint64(res.Detected)
+		}
+		b.ReportMetric(float64(u.Len())*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+	}
+	b.Run(fmt.Sprintf("n=%d/off", n), func(b *testing.B) {
+		telemetry.SetActive(nil)
+		run(b)
+	})
+	b.Run(fmt.Sprintf("n=%d/on", n), func(b *testing.B) {
+		telemetry.SetActive(telemetry.NewRegistry())
+		defer telemetry.SetActive(nil)
+		run(b)
+	})
 }
 
 var sink uint64

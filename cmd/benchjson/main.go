@@ -17,6 +17,13 @@
 // benchmark breaks CI loudly instead of silently archiving a shrunken
 // perf artifact.  New names are reported but allowed (they belong in
 // the next baseline refresh).
+//
+// With -compare OLD.json, every metric shared by a benchmark present
+// in both the old artifact and stdin's results is reported to stderr
+// as a signed percentage delta (current vs old).  The report is
+// advisory — single-shot CI benches on shared runners are too noisy to
+// gate on — but it puts the perf trajectory in the build log where a
+// regression is one scroll away instead of one artifact-diff away.
 package main
 
 import (
@@ -98,8 +105,50 @@ func missingNames(baseline, current []Entry) (missing, added []string) {
 	return missing, added
 }
 
+// compareEntries formats per-metric percentage deltas of current vs
+// old for every benchmark name the two sets share, one line per
+// benchmark, names and metrics in sorted order.  Metrics only one side
+// has are skipped; an old value of zero reports "n/a" (no meaningful
+// ratio).
+func compareEntries(old, current []Entry) []string {
+	prev := make(map[string]Entry, len(old))
+	for _, e := range old {
+		prev[e.Name] = e
+	}
+	var lines []string
+	sorted := append([]Entry(nil), current...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, e := range sorted {
+		p, ok := prev[e.Name]
+		if !ok {
+			continue
+		}
+		names := make([]string, 0, len(e.Metrics))
+		for m := range e.Metrics {
+			if _, ok := p.Metrics[m]; ok {
+				names = append(names, m)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, m := range names {
+			if p.Metrics[m] == 0 {
+				parts[i] = fmt.Sprintf("%s n/a", m)
+				continue
+			}
+			parts[i] = fmt.Sprintf("%s %+.1f%%", m, 100*(e.Metrics[m]-p.Metrics[m])/p.Metrics[m])
+		}
+		lines = append(lines, fmt.Sprintf("  %s: %s", e.Name, strings.Join(parts, ", ")))
+	}
+	return lines
+}
+
 func main() {
 	assertNames := flag.String("assert-names", "", "baseline JSON file; exit nonzero when any of its benchmark names is missing from stdin's results")
+	compare := flag.String("compare", "", "old benchjson artifact; print per-metric percentage deltas of the current results against it on stderr (advisory, never fails the run)")
 	flag.Parse()
 	var entries []Entry
 	sc := bufio.NewScanner(os.Stdin)
@@ -126,6 +175,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			// Advisory only: a first run with no committed artifact should
+			// not fail, just say why there is no comparison.
+			fmt.Fprintf(os.Stderr, "benchjson: compare: %v (skipping delta report)\n", err)
+		} else {
+			var old []Entry
+			if err := json.Unmarshal(raw, &old); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: compare %s: %v (skipping delta report)\n", *compare, err)
+			} else if lines := compareEntries(old, entries); len(lines) > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: deltas vs %s (advisory):\n", *compare)
+				for _, l := range lines {
+					fmt.Fprintln(os.Stderr, l)
+				}
+			}
+		}
+	}
 	if *assertNames != "" {
 		raw, err := os.ReadFile(*assertNames)
 		if err != nil {

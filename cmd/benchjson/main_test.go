@@ -88,6 +88,29 @@ func TestMissingNames(t *testing.T) {
 	}
 }
 
+func TestCompareEntries(t *testing.T) {
+	old := []Entry{
+		{Name: "Campaign/n=1024/compiled", Metrics: map[string]float64{"ns/op": 1000, "faults/s": 2e6, "zero": 0}},
+		{Name: "Gone/only-in-old", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	cur := []Entry{
+		// Out of sorted order on purpose: the report must sort by name.
+		{Name: "New/only-in-current", Metrics: map[string]float64{"ns/op": 7}},
+		{Name: "Campaign/n=1024/compiled", Metrics: map[string]float64{"ns/op": 1100, "faults/s": 1.8e6, "zero": 3, "allocs/op": 2}},
+	}
+	lines := compareEntries(old, cur)
+	want := []string{
+		"  Campaign/n=1024/compiled: faults/s -10.0%, ns/op +10.0%, zero n/a",
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("compareEntries = %q, want %q", lines, want)
+	}
+	// No shared names at all: an empty report, not a crash.
+	if lines := compareEntries(old[1:], cur[:1]); len(lines) != 0 {
+		t.Errorf("disjoint sets: %q", lines)
+	}
+}
+
 func TestParseLineRejectsNonBenchLines(t *testing.T) {
 	for _, in := range []string{
 		"",

@@ -16,6 +16,18 @@
 //	faultcov -seed 99        # reseed the sampled coupling-pair draws
 //	faultcov -chunk 65536    # faults per pull of streaming campaigns
 //	faultcov -exp e17 -exhaustive-cf  # multi-million-fault exhaustive CF run
+//	faultcov -progress       # live faults/s, ETA and survivors on stderr
+//	faultcov -debug-addr :6060  # /metrics + /debug/pprof while running
+//
+// -progress attaches the telemetry registry and streams two kinds of
+// stderr lines: periodic `# progress` lines during a stage (faults
+// done, faults/s, ETA, survivors when known) and one `# stage` line
+// after each stage (engine, elapsed, throughput, collapse ratio, and
+// each worker's share of wall time spent blocked on the serialized
+// streaming sink).  -debug-addr serves the same counters as JSON on
+// /metrics plus the standard net/http/pprof profiles for the duration
+// of the run; both flags cost nothing when absent (the engines check
+// one nil pointer per batch).
 //
 // The experiment catalogue is defined once in this file (the order
 // slice below) and the -exp help text is generated from it, so the two
@@ -59,10 +71,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/coverage"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // experiments is the catalogue, in presentation order.  The -exp flag
@@ -128,6 +142,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed for the sampled coupling-pair draws (0 = per-experiment defaults), printed in the run header")
 	chunk := flag.Int("chunk", 0, "faults per pull of streaming campaigns (0 = the engine default)")
 	exhaustiveCF := flag.Bool("exhaustive-cf", false, "run E17 over the full-scale exhaustive coupling universes (millions of fault instances, streaming engine only)")
+	progress := flag.Bool("progress", false, "stream live campaign progress (faults/s, ETA, survivors) and per-stage engine reports to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :6060) for the duration of the run")
 	flag.Parse()
 	exhaustiveCFSizes = *exhaustiveCF
 
@@ -151,6 +167,53 @@ func main() {
 	coverage.SetDefaultDrop(*drop)
 	coverage.SetDefaultChunk(*chunk)
 	repro.SetSampleSeed(*seed)
+	if *progress || *debugAddr != "" {
+		reg := telemetry.NewRegistry()
+		if *progress {
+			reg.OnProgress(time.Second, func(p telemetry.Progress) {
+				line := fmt.Sprintf("# progress %s: %d", p.Stage, p.Done)
+				if p.Total > 0 {
+					line += fmt.Sprintf("/%d (%.1f%%)", p.Total, 100*float64(p.Done)/float64(p.Total))
+				}
+				line += fmt.Sprintf(" faults, %s faults/s", coverage.FormatRate(p.FaultsPerSec))
+				if p.ETA >= 0 {
+					line += fmt.Sprintf(", ETA %s", p.ETA.Round(time.Second))
+				}
+				if p.Survivors >= 0 {
+					line += fmt.Sprintf(", survivors %d", p.Survivors)
+				}
+				fmt.Fprintln(os.Stderr, line)
+			})
+			reg.OnStage(func(rep telemetry.StageReport) {
+				line := fmt.Sprintf("# stage %s/%s [%s]: %d faults in %s, %s faults/s",
+					rep.Universe, rep.Stage, rep.Engine, rep.Entered,
+					coverage.FormatDuration(rep.Elapsed), coverage.FormatRate(rep.FaultsPerSec))
+				if rep.CollapseRatio > 0 && rep.CollapseRatio < 1 {
+					line += fmt.Sprintf(", collapse %.2f", rep.CollapseRatio)
+				}
+				if rep.CacheHit {
+					line += ", cached program"
+				}
+				if len(rep.SinkWait) > 0 && rep.Elapsed > 0 {
+					shares := make([]string, len(rep.SinkWait))
+					for i, w := range rep.SinkWait {
+						shares[i] = fmt.Sprintf("%.0f%%", 100*w.Seconds()/rep.Elapsed.Seconds())
+					}
+					line += fmt.Sprintf(", sink-wait/worker [%s]", strings.Join(shares, " "))
+				}
+				fmt.Fprintln(os.Stderr, line)
+			})
+		}
+		telemetry.SetActive(reg)
+		if *debugAddr != "" {
+			addr, err := telemetry.ServeDebug(*debugAddr, reg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faultcov: debug endpoint: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "# debug endpoint on http://%s (/metrics, /debug/pprof)\n", addr)
+		}
+	}
 	if *session {
 		// Session lines go to stdout only in text mode; the csv/json
 		// streams stay machine-readable, so the report moves to stderr.
@@ -160,7 +223,7 @@ func main() {
 		}
 		coverage.SetSessionObserver(func(p *coverage.Plan, s *coverage.Session) {
 			fmt.Fprintf(sessionOut, "# session %s [%s]: %s — cumulative %s\n",
-				p.Universe.Name, eng, s.FormatStages(),
+				p.UniverseName(), eng, s.FormatStages(),
 				report.Percent(s.Cumulative.Detected, s.Cumulative.Total))
 		})
 	}

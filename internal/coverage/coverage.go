@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bist"
 	"repro/internal/fault"
@@ -185,6 +186,43 @@ type EngineStats struct {
 	// engine only).
 	ProgramOps int
 	TrimmedOps int
+	// Elapsed is the wall time of the detection phase (the clean-run
+	// recording and compilation are not included) and FaultsPerSec the
+	// resulting throughput over presented faults.  Both are populated
+	// on every path, oracle fallbacks included.
+	Elapsed      time.Duration
+	FaultsPerSec float64
+	// CollapseRatio is Reps per presented fault: 1 with collapsing off
+	// or inapplicable, smaller the harder collapsing worked.
+	CollapseRatio float64
+	// CacheHits/CacheMisses count the stage's program-cache lookups
+	// (at most one of each: a stage looks its program up once).
+	CacheHits, CacheMisses uint64
+	// ArenaReuse/ArenaFresh count the stage's arena-pool checkouts
+	// (telemetry registry attached only; zero otherwise).
+	ArenaReuse, ArenaFresh uint64
+	// KernelTime, SinkWait and SourceWait split each worker's stage
+	// time: inside the replay kernel, blocked acquiring the serialized
+	// streaming sink, and claiming chunks from the source.
+	// Populated when a telemetry.Registry is attached; indexed by
+	// worker slot.  SinkWait is the direct measure of streaming-sink
+	// contention: if its share of Elapsed grows with the worker count,
+	// the serialized sink is the scaling bottleneck.
+	KernelTime, SinkWait, SourceWait []time.Duration
+}
+
+// SinkWaitShares returns each worker's sink-wait time as a fraction of
+// the stage's wall time — the per-worker sink-contention report (nil
+// when no per-worker telemetry was captured).
+func (s *EngineStats) SinkWaitShares() []float64 {
+	if s == nil || len(s.SinkWait) == 0 || s.Elapsed <= 0 {
+		return nil
+	}
+	out := make([]float64, len(s.SinkWait))
+	for i, d := range s.SinkWait {
+		out[i] = float64(d) / float64(s.Elapsed)
+	}
+	return out
 }
 
 // Coverage returns the overall detection ratio.

@@ -6,9 +6,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // This file is the campaign session layer: Plan describes an ordered
@@ -209,6 +211,7 @@ type stage struct {
 	prog          *sim.Program // compiled fast path
 	tr            *sim.Trace   // bit-parallel fast path
 	cacheHit      bool
+	cacheTried    bool // a program-cache lookup happened during prepare
 }
 
 // Run executes the session.
@@ -238,6 +241,7 @@ func (p *Plan) Run() *Session {
 	cum := make([]bool, nFaults)
 	cumDetected := 0
 	arenas := &sim.ArenaPool{}
+	reg := telemetry.Active()
 	// Cross-test dropping bookkeeping: one bit per universe fault (set
 	// while undetected), exposed to later stages as a fault.BitView —
 	// the subset never costs more than N/8 bytes however many stages
@@ -248,7 +252,14 @@ func (p *Plan) Run() *Session {
 		if p.Drop && surv != nil {
 			view = fault.NewBitView(p.Universe.Faults, surv)
 		}
+		var before telemetry.Snapshot
+		if reg != nil {
+			before = reg.Snapshot()
+			reg.BeginStage(st.runner.Name(), int64(view.Len()))
+		}
+		t0 := time.Now()
 		det, stats := p.detect(st, view, workers, arenas)
+		finishStage(stats, st, view.Len(), time.Since(t0), reg, before)
 		res := Result{
 			Runner:        st.runner.Name(),
 			Universe:      p.Universe.Name,
@@ -313,6 +324,10 @@ func (p *Plan) Run() *Session {
 				}
 			}
 		}
+		if reg != nil {
+			reg.ReportSurvivors(int64(nFaults - cumDetected))
+			p.reportStage(reg, s.Stages[len(s.Stages)-1])
+		}
 	}
 
 	// Session-level cumulative coverage.
@@ -356,6 +371,83 @@ func (p *Plan) sessionName() string {
 		return "session"
 	}
 	return p.Name
+}
+
+// UniverseName returns the universe label whichever shape the plan
+// has: the stream's name for streaming sessions, the materialized
+// universe's otherwise.
+func (p *Plan) UniverseName() string {
+	if p.Stream != nil {
+		return p.Stream.Name
+	}
+	return p.Universe.Name
+}
+
+// finishStage completes a stage's engine report: the always-on timing
+// fields (elapsed, faults/s, collapse ratio, cache lookups — every
+// path gets them, oracle fallbacks included), plus the per-worker time
+// split and arena-pool counters captured over the stage when a
+// telemetry registry is attached.  presented is the fault count the
+// stage was handed (the survivor subset when dropping).
+func finishStage(stats *EngineStats, st *stage, presented int, elapsed time.Duration, reg *telemetry.Registry, before telemetry.Snapshot) {
+	stats.Elapsed = elapsed
+	if elapsed > 0 {
+		stats.FaultsPerSec = float64(presented) / elapsed.Seconds()
+	}
+	stats.CollapseRatio = 1
+	if presented > 0 {
+		stats.CollapseRatio = float64(stats.Reps) / float64(presented)
+	}
+	if st.cacheTried {
+		if st.cacheHit {
+			stats.CacheHits = 1
+		} else {
+			stats.CacheMisses = 1
+		}
+	}
+	if reg == nil {
+		return
+	}
+	d := reg.Snapshot().Sub(before)
+	stats.ArenaReuse, stats.ArenaFresh = d.ArenaReuse, d.ArenaFresh
+	n := len(d.Workers)
+	if stats.Workers < n {
+		n = stats.Workers
+	}
+	if n <= 0 {
+		return
+	}
+	stats.KernelTime = make([]time.Duration, n)
+	stats.SinkWait = make([]time.Duration, n)
+	stats.SourceWait = make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		stats.KernelTime[i] = d.Workers[i].Kernel
+		stats.SinkWait[i] = d.Workers[i].SinkWait
+		stats.SourceWait[i] = d.Workers[i].SourceWait
+	}
+}
+
+// reportStage hands a completed stage to the telemetry registry's
+// OnStage callback (the faultcov -progress per-stage report).
+func (p *Plan) reportStage(reg *telemetry.Registry, st StageStat) {
+	if reg == nil || st.Stats == nil {
+		return
+	}
+	reg.StageDone(telemetry.StageReport{
+		Universe:      p.UniverseName(),
+		Stage:         st.Runner,
+		Engine:        st.Stats.Engine.String(),
+		Entered:       st.Entered,
+		Detected:      st.Detected,
+		Survivors:     st.Survivors,
+		Elapsed:       st.Stats.Elapsed,
+		FaultsPerSec:  st.Stats.FaultsPerSec,
+		CollapseRatio: st.Stats.CollapseRatio,
+		CacheHit:      st.CacheHit,
+		KernelTime:    st.Stats.KernelTime,
+		SinkWait:      st.Stats.SinkWait,
+		SourceWait:    st.Stats.SourceWait,
+	})
 }
 
 // sumCleanRuns folds the stages' clean-run metadata into the
@@ -405,6 +497,7 @@ func (p *Plan) prepareStage(r Runner, index int, batchable bool) *stage {
 			InitHash: sim.InitHash(mem),
 		}
 		cached = true
+		st.cacheTried = true
 		if e, hit := p.Cache.Get(key); hit {
 			st.prog, st.cleanOps, st.cacheHit = e.Prog, e.CleanOps, true
 			return st
@@ -464,6 +557,12 @@ func (p *Plan) detect(st *stage, view fault.View, workers int, arenas *sim.Arena
 		}
 		if collapsed {
 			d = col.Expand(d)
+			// The shard driver counted the representatives it simulated;
+			// credit the expanded remainder so the registry's presented-
+			// fault total (and the progress Done count) stays exact.
+			if reg := telemetry.Active(); reg != nil && view.Len() > v.Len() {
+				reg.Flush(reg.Worker(0), &telemetry.Local{Faults: uint64(view.Len() - v.Len())})
+			}
 		}
 		return d, &EngineStats{
 			Engine:     EngineCompiled,
@@ -495,32 +594,79 @@ func oracleDetectView(r Runner, v fault.View, mk MemoryFactory, workers int) ([]
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	reg := telemetry.Active()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var tw *telemetry.Worker
+			var tl telemetry.Local
+			if reg != nil {
+				tw = reg.Worker(w)
+			}
 			for {
 				idx := int(cursor.Add(1)) - 1
 				if idx >= n {
 					return
 				}
+				var t0 time.Time
+				if tw != nil {
+					t0 = time.Now()
+				}
 				mem := v.At(idx).Inject(mk())
 				d, _ := r.Run(mem)
 				detected[idx] = d
+				if tw != nil {
+					// One full algorithm run per fault dwarfs a flush, so
+					// the oracle flushes per fault.
+					tl.KernelNanos += uint64(time.Since(t0))
+					tl.Faults++
+					tl.Reps++
+					reg.Flush(tw, &tl)
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return detected, workers
 }
 
 // FormatStages renders the session's stage progression as one line:
-// "MATS+ 1292→301; March C- 301→4" (entered→survivors, execution
-// order) — the faultcov -session report.
+// "MATS+ 1292→301 (1.2ms, 1.1M faults/s); March C- 301→4 (…)"
+// (entered→survivors with stage timing, execution order) — the
+// faultcov -session report.
 func (s *Session) FormatStages() string {
 	parts := make([]string, len(s.Stages))
 	for i, st := range s.Stages {
 		parts[i] = fmt.Sprintf("%s %d→%d", st.Runner, st.Entered, st.Survivors)
+		if st.Stats != nil && st.Stats.Elapsed > 0 {
+			parts[i] += fmt.Sprintf(" (%s, %s faults/s)",
+				FormatDuration(st.Stats.Elapsed), FormatRate(st.Stats.FaultsPerSec))
+		}
 	}
 	return strings.Join(parts, "; ")
+}
+
+// FormatRate renders a faults/s figure compactly ("1.2M", "534k").
+func FormatRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// FormatDuration rounds a stage time to report precision.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
 }

@@ -3,9 +3,11 @@ package coverage
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // This file is the streaming session executor: a Plan whose Stream
@@ -83,7 +85,7 @@ func (p *Plan) runStream() *Session {
 		chunk = DefaultChunk()
 	}
 	src := p.Stream.Source
-	count, _ := src.Count() // capacity hint; bitmaps grow if it is low
+	count, exactCount := src.Count() // capacity hint; bitmaps grow if it is low
 
 	// Stage preparation and ordering are shared with the materialized
 	// executor.  Streamed faults are assumed batch-injectable (checked
@@ -103,6 +105,7 @@ func (p *Plan) runStream() *Session {
 	classTotal := make(map[fault.Class]int)
 	classDet := make(map[fault.Class]int)
 	arenas := &sim.ArenaPool{}
+	reg := telemetry.Active()
 	universeN := -1 // presented count of the first executed stage = |universe|
 	for _, st := range order {
 		// The survivor filter for this stage is the cumulative detection
@@ -162,9 +165,31 @@ func (p *Plan) runStream() *Session {
 					classTotal[c]++
 				}
 			}
+			// Live survivor count for the progress line: the sink runs
+			// serialized, so cumDetected is coherent here.
+			if reg != nil && exactCount {
+				reg.ReportSurvivors(int64(count - cumDetected))
+			}
 		}
 		src.Reset()
+		var before telemetry.Snapshot
+		if reg != nil {
+			before = reg.Snapshot()
+			// The stage will present the universe minus what earlier
+			// stages already detected (the drop filter); an inexact Count
+			// leaves the progress total unknown.
+			total := int64(0)
+			if exactCount {
+				total = int64(count)
+				if stageDrop != nil {
+					total -= int64(cumDetected)
+				}
+			}
+			reg.BeginStage(st.runner.Name(), total)
+		}
+		t0 := time.Now()
 		stats := p.detectStream(st, src, chunk, workers, stageDrop, arenas, sink)
+		finishStage(stats, st, res.Total, time.Since(t0), reg, before)
 		res.Stats = stats
 		if tallyUniverse {
 			universeN = res.Total
@@ -192,6 +217,10 @@ func (p *Plan) runStream() *Session {
 			CacheHit:    st.cacheHit,
 			Stats:       stats,
 		})
+		if reg != nil {
+			reg.ReportSurvivors(int64(universeN - cumDetected))
+			p.reportStage(reg, s.Stages[len(s.Stages)-1])
+		}
 	}
 	if universeN < 0 {
 		universeN = 0

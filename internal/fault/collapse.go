@@ -1,5 +1,7 @@
 package fault
 
+import "repro/internal/telemetry"
+
 // Structural fault collapsing: before a campaign simulates a universe,
 // faults that provably produce the same detection outcome are grouped
 // into equivalence classes, one representative per class is simulated,
@@ -123,6 +125,7 @@ func CollapseView(v View, sum *TraceSummary) Collapsed {
 		index[key] = r
 		col.Map[i] = r
 	}
+	telemetry.Active().CollapseDelta(n, len(col.Reps))
 	return col
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // Arena is one replay worker's reusable machine-array state for a
@@ -228,6 +229,7 @@ type ArenaPool struct {
 // Get returns an arena bound to p, reusing a pooled one when possible.
 func (ap *ArenaPool) Get(p *Program) *Arena {
 	if ap == nil {
+		telemetry.Active().ArenaGet(false)
 		return NewArena(p)
 	}
 	ap.mu.Lock()
@@ -237,6 +239,7 @@ func (ap *ArenaPool) Get(p *Program) *Arena {
 		ap.free = ap.free[:n-1]
 	}
 	ap.mu.Unlock()
+	telemetry.Active().ArenaGet(a != nil)
 	if a == nil {
 		return NewArena(p)
 	}

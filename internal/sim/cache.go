@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/ram"
+	"repro/internal/telemetry"
 )
 
 // ProgramCache memoizes compiled replay programs across campaigns, so
@@ -59,13 +60,14 @@ func (c *ProgramCache) Get(k ProgramKey) (*CachedProgram, bool) {
 		return nil, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.m[k]
 	if ok {
 		c.hits++
 	} else {
 		c.misses++
 	}
+	c.mu.Unlock()
+	telemetry.Active().CacheLookup(ok)
 	return e, ok
 }
 

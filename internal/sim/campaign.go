@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // BatchSize is the number of machines simulated per replay pass — one
@@ -50,6 +52,7 @@ func shard(v fault.View, workers int, newWorker func() (replay func(batch []faul
 		workers = batches
 	}
 	detected := make([]bool, n)
+	reg := telemetry.Active()
 	var cursor atomic.Int64
 	var stop atomic.Bool
 	errs := make([]error, workers)
@@ -66,6 +69,14 @@ func shard(v fault.View, workers int, newWorker func() (replay func(batch []faul
 			if !v.Full() {
 				scratch = make([]fault.Fault, 0, BatchSize)
 			}
+			// Telemetry: counters accumulate in the plain Local and flush
+			// into the padded per-worker slot once per batch; with no
+			// registry attached the whole path is one nil check per batch.
+			var tw *telemetry.Worker
+			var tl telemetry.Local
+			if reg != nil {
+				tw = reg.Worker(w)
+			}
 			for {
 				b := int(cursor.Add(1)) - 1
 				if b >= batches || stop.Load() {
@@ -76,7 +87,18 @@ func shard(v fault.View, workers int, newWorker func() (replay func(batch []faul
 				if hi > n {
 					hi = n
 				}
+				var t0 time.Time
+				if tw != nil {
+					t0 = time.Now()
+				}
 				mask, err := replay(v.Batch(scratch, lo, hi))
+				if tw != nil {
+					tl.KernelNanos += uint64(time.Since(t0))
+					tl.Batches++
+					tl.Faults += uint64(hi - lo)
+					tl.Reps += uint64(hi - lo)
+					reg.Flush(tw, &tl)
+				}
 				if err != nil {
 					errs[w] = err
 					stop.Store(true)

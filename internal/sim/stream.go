@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // This file is the streaming campaign layer: the fault universe is
@@ -116,6 +118,7 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 		return b, n, true
 	}
 	errs := make([]error, workers)
+	reg := telemetry.Active()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -129,9 +132,26 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 			idx := make([]int, chunk)
 			det := make([]bool, chunk)
 			repDet := make([]bool, chunk)
+			// Telemetry: worker-local counters, flushed into the padded
+			// per-worker slot once per chunk.  The source-claim and
+			// sink-acquire waits are timed separately from the kernel so a
+			// scaling run can see exactly where a worker's wall time goes.
+			var tw *telemetry.Worker
+			var tl telemetry.Local
+			if reg != nil {
+				tw = reg.Worker(w)
+			}
 			for !stop.Load() {
+				var t0 time.Time
+				if tw != nil {
+					t0 = time.Now()
+				}
 				b, n, ok := pull(buf)
+				if tw != nil {
+					tl.SourceWaitNanos += uint64(time.Since(t0))
+				}
 				if !ok {
+					reg.Flush(tw, &tl)
 					return
 				}
 				faults := buf[:n]
@@ -165,6 +185,9 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 				reps.Add(int64(len(r)))
 				rd := repDet[:len(r)]
 				failed := false
+				if tw != nil {
+					t0 = time.Now()
+				}
 				for lo := 0; lo < len(r); lo += BatchSize {
 					hi := lo + BatchSize
 					if hi > len(r) {
@@ -181,7 +204,13 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 						rd[i] = mask>>uint(i-lo)&1 == 1
 					}
 				}
+				if tw != nil {
+					tl.KernelNanos += uint64(time.Since(t0))
+					tl.Batches += uint64((len(r) + BatchSize - 1) / BatchSize)
+					tl.Reps += uint64(len(r))
+				}
 				if failed {
+					reg.Flush(tw, &tl)
 					return
 				}
 				d := det[:len(faults)]
@@ -190,9 +219,23 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 				} else {
 					copy(d, rd)
 				}
+				if tw != nil {
+					t0 = time.Now()
+				}
 				sinkMu.Lock()
+				if tw != nil {
+					tl.SinkWaitNanos += uint64(time.Since(t0))
+					t0 = time.Now()
+				}
 				sink(ids, faults, d)
 				sinkMu.Unlock()
+				if tw != nil {
+					tl.SinkNanos += uint64(time.Since(t0))
+					tl.Chunks++
+					tl.Faults += uint64(len(faults))
+					reg.ObserveIndex(int64(b + n))
+					reg.Flush(tw, &tl)
+				}
 			}
 		}(w)
 	}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/march"
+	"repro/internal/telemetry"
+)
+
+// TestStreamTelemetryCounters: a streaming compiled run with a
+// registry attached accounts every fault exactly once, splits its time
+// between kernel/sink/source, and drives the high-water mark to the
+// resume point of the (index-addressable) source.
+func TestStreamTelemetryCounters(t *testing.T) {
+	const n = 33
+	tr := recordMarch(t, march.MarchCMinus(), n)
+	p, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.StandardUniverse(n, 1, 6, 9).Faults
+
+	reg := telemetry.NewRegistry()
+	var mu sync.Mutex
+	var samples []telemetry.Progress
+	reg.OnProgress(0, func(pr telemetry.Progress) { // every flush
+		mu.Lock()
+		samples = append(samples, pr)
+		mu.Unlock()
+	})
+	telemetry.SetActive(reg)
+	defer telemetry.SetActive(nil)
+
+	reg.BeginStage("march", int64(len(faults)))
+	cs := newCollectSink()
+	if _, _, err := ShardsCompiledStream(p, fault.SliceSource(faults), 7, 1, nil, false, nil, cs.sink); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if s.Faults != uint64(len(faults)) {
+		t.Errorf("faults presented = %d, want %d", s.Faults, len(faults))
+	}
+	if s.Reps != uint64(len(faults)) {
+		t.Errorf("uncollapsed reps = %d, want %d", s.Reps, len(faults))
+	}
+	wantChunks := uint64((len(faults) + 6) / 7)
+	if s.Chunks != wantChunks {
+		t.Errorf("chunks = %d, want %d", s.Chunks, wantChunks)
+	}
+	if s.Kernel <= 0 {
+		t.Errorf("kernel time = %v", s.Kernel)
+	}
+	if len(s.Workers) != 1 || s.Workers[0].Faults != s.Faults {
+		t.Errorf("worker rows: %+v", s.Workers)
+	}
+
+	// The single worker claims chunks in order, so the final progress
+	// sample is the completed stage: everything done, ETA zero, high
+	// water at the source's end (the resume point).
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) == 0 {
+		t.Fatal("no progress samples")
+	}
+	last := samples[len(samples)-1]
+	if last.Done != int64(len(faults)) {
+		t.Errorf("final Done = %d, want %d", last.Done, len(faults))
+	}
+	if last.ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", last.ETA)
+	}
+	if last.HighWater != int64(len(faults)) {
+		t.Errorf("final high water = %d, want %d", last.HighWater, len(faults))
+	}
+	if last.FaultsPerSec <= 0 {
+		t.Errorf("final faults/s = %v", last.FaultsPerSec)
+	}
+}
+
+// TestStreamTelemetryRace hammers one registry from two concurrent
+// multi-worker streaming campaigns while a reader polls snapshots —
+// the -race guard for the engine-side instrumentation (the
+// registry-internal guard lives in internal/telemetry).  Aggregate
+// totals stay exact even though per-worker attribution blurs.
+func TestStreamTelemetryRace(t *testing.T) {
+	const n = 32
+	tr := recordMarch(t, march.MarchB(), n)
+	p, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.StandardUniverse(n, 1, 8, 3).Faults
+
+	reg := telemetry.NewRegistry()
+	reg.OnProgress(0, func(telemetry.Progress) {}) // emission path under race too
+	reg.BeginStage("race", int64(len(faults)))
+	telemetry.SetActive(reg)
+	defer telemetry.SetActive(nil)
+
+	const runs = 2
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Snapshot()
+			}
+		}
+	}()
+	errs := make([]error, runs)
+	var runsWG sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		runsWG.Add(1)
+		go func(i int) {
+			defer runsWG.Done()
+			_, _, errs[i] = ShardsCompiledStream(p, fault.SliceSource(faults), 5, 3, nil, true, nil,
+				func([]int, []fault.Fault, []bool) {})
+		}(i)
+	}
+	runsWG.Wait()
+	close(stop)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	s := reg.Snapshot()
+	if want := uint64(runs * len(faults)); s.Faults != want {
+		t.Errorf("faults presented = %d, want %d", s.Faults, want)
+	}
+	if s.Reps == 0 || s.Reps > s.Faults {
+		t.Errorf("collapsed reps = %d of %d faults", s.Reps, s.Faults)
+	}
+}
