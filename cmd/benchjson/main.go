@@ -20,10 +20,19 @@
 //
 // With -compare OLD.json, every metric shared by a benchmark present
 // in both the old artifact and stdin's results is reported to stderr
-// as a signed percentage delta (current vs old).  The report is
-// advisory — single-shot CI benches on shared runners are too noisy to
-// gate on — but it puts the perf trajectory in the build log where a
-// regression is one scroll away instead of one artifact-diff away.
+// as a signed percentage delta (current vs old).  By itself the report
+// is advisory — single-shot CI benches on shared runners are too noisy
+// to gate on — but it puts the perf trajectory in the build log where
+// a regression is one scroll away instead of one artifact-diff away.
+//
+// -max-regress THRESHOLD turns the faults/s comparison into a gate:
+// any shared benchmark whose faults/s dropped by more than the
+// threshold (a fraction like 0.5, or a percentage like 50%) fails the
+// run.  Only faults/s is gated — it is the throughput figure the
+// engines optimize for; ns/op and allocs/op stay advisory.  Pick a
+// generous threshold for single-shot CI benches: the gate is there to
+// catch order-of-magnitude cliffs (an accidental oracle fallback, a
+// serialization bottleneck), not 10% noise.
 package main
 
 import (
@@ -146,10 +155,71 @@ func compareEntries(old, current []Entry) []string {
 	return lines
 }
 
+// parseThreshold parses a -max-regress value: a fraction ("0.5") or a
+// percentage ("50%"), either way a number in (0, 1] once normalized.
+func parseThreshold(s string) (float64, error) {
+	raw := strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad threshold %q: %v", s, err)
+	}
+	if raw != s {
+		v /= 100
+	}
+	if v <= 0 || v > 1 {
+		return 0, fmt.Errorf("threshold %q is outside (0%%, 100%%]", s)
+	}
+	return v, nil
+}
+
+// regressions returns one line per benchmark shared by old and current
+// whose faults/s dropped by more than threshold (a fraction of the old
+// value), sorted by name.
+func regressions(old, current []Entry, threshold float64) []string {
+	prev := make(map[string]Entry, len(old))
+	for _, e := range old {
+		prev[e.Name] = e
+	}
+	var lines []string
+	sorted := append([]Entry(nil), current...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, e := range sorted {
+		p, ok := prev[e.Name]
+		if !ok {
+			continue
+		}
+		was, now := p.Metrics["faults/s"], e.Metrics["faults/s"]
+		if was <= 0 {
+			continue
+		}
+		if _, ok := e.Metrics["faults/s"]; !ok {
+			continue
+		}
+		if drop := (was - now) / was; drop > threshold {
+			lines = append(lines, fmt.Sprintf("  %s: faults/s %.3g → %.3g (-%.1f%%, limit -%.1f%%)",
+				e.Name, was, now, 100*drop, 100*threshold))
+		}
+	}
+	return lines
+}
+
 func main() {
 	assertNames := flag.String("assert-names", "", "baseline JSON file; exit nonzero when any of its benchmark names is missing from stdin's results")
-	compare := flag.String("compare", "", "old benchjson artifact; print per-metric percentage deltas of the current results against it on stderr (advisory, never fails the run)")
+	compare := flag.String("compare", "", "old benchjson artifact; print per-metric percentage deltas of the current results against it on stderr (advisory unless -max-regress is set)")
+	maxRegress := flag.String("max-regress", "", "with -compare: exit nonzero when any shared benchmark's faults/s dropped by more than this fraction (\"0.5\") or percentage (\"50%\")")
 	flag.Parse()
+	var threshold float64
+	if *maxRegress != "" {
+		if *compare == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -max-regress requires -compare")
+			os.Exit(2)
+		}
+		var err error
+		if threshold, err = parseThreshold(*maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -max-regress: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	var entries []Entry
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -178,17 +248,29 @@ func main() {
 	if *compare != "" {
 		raw, err := os.ReadFile(*compare)
 		if err != nil {
-			// Advisory only: a first run with no committed artifact should
-			// not fail, just say why there is no comparison.
+			// A first run with no committed artifact should not fail, just
+			// say why there is no comparison (the regress gate has nothing
+			// to gate against either).
 			fmt.Fprintf(os.Stderr, "benchjson: compare: %v (skipping delta report)\n", err)
 		} else {
 			var old []Entry
 			if err := json.Unmarshal(raw, &old); err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: compare %s: %v (skipping delta report)\n", *compare, err)
-			} else if lines := compareEntries(old, entries); len(lines) > 0 {
-				fmt.Fprintf(os.Stderr, "benchjson: deltas vs %s (advisory):\n", *compare)
-				for _, l := range lines {
-					fmt.Fprintln(os.Stderr, l)
+			} else {
+				if lines := compareEntries(old, entries); len(lines) > 0 {
+					fmt.Fprintf(os.Stderr, "benchjson: deltas vs %s:\n", *compare)
+					for _, l := range lines {
+						fmt.Fprintln(os.Stderr, l)
+					}
+				}
+				if threshold > 0 {
+					if lines := regressions(old, entries, threshold); len(lines) > 0 {
+						fmt.Fprintf(os.Stderr, "benchjson: faults/s regressed beyond -max-regress %s:\n", *maxRegress)
+						for _, l := range lines {
+							fmt.Fprintln(os.Stderr, l)
+						}
+						os.Exit(1)
+					}
 				}
 			}
 		}

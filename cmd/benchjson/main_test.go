@@ -2,6 +2,7 @@ package main
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -108,6 +109,56 @@ func TestCompareEntries(t *testing.T) {
 	// No shared names at all: an empty report, not a crash.
 	if lines := compareEntries(old[1:], cur[:1]); len(lines) != 0 {
 		t.Errorf("disjoint sets: %q", lines)
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	for in, want := range map[string]float64{
+		"0.5": 0.5, "50%": 0.5, "1": 1, "100%": 1, "0.02": 0.02, "2%": 0.02,
+	} {
+		got, err := parseThreshold(in)
+		if err != nil || got != want {
+			t.Errorf("parseThreshold(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "0", "0%", "-0.5", "1.5", "150%", "abc", "%"} {
+		if _, err := parseThreshold(in); err == nil {
+			t.Errorf("parseThreshold(%q): expected an error", in)
+		}
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	old := []Entry{
+		{Name: "A", Metrics: map[string]float64{"faults/s": 1e6}},
+		{Name: "B", Metrics: map[string]float64{"faults/s": 1e6}},
+		{Name: "C", Metrics: map[string]float64{"faults/s": 1e6}},
+		{Name: "NoRate", Metrics: map[string]float64{"ns/op": 10}},
+		{Name: "ZeroOld", Metrics: map[string]float64{"faults/s": 0}},
+	}
+	cur := []Entry{
+		// Sorted-output check: listed out of order on purpose.
+		{Name: "C", Metrics: map[string]float64{"faults/s": 2e6}},  // improvement
+		{Name: "A", Metrics: map[string]float64{"faults/s": 3e5}},  // -70%: over a 50% limit
+		{Name: "B", Metrics: map[string]float64{"faults/s": 6e5}},  // -40%: under it
+		{Name: "NoRate", Metrics: map[string]float64{"ns/op": 99}}, // no faults/s either side
+		{Name: "ZeroOld", Metrics: map[string]float64{"faults/s": 5}},
+		{Name: "OnlyNew", Metrics: map[string]float64{"faults/s": 1}},
+	}
+	lines := regressions(old, cur, 0.5)
+	if len(lines) != 1 || !strings.Contains(lines[0], "A:") || !strings.Contains(lines[0], "-70.0%") {
+		t.Errorf("regressions = %q, want exactly A at -70.0%%", lines)
+	}
+	// A tighter threshold catches B too; exactly-at-threshold does not
+	// trip (the gate is strictly greater-than).
+	if lines := regressions(old, cur, 0.3); len(lines) != 2 {
+		t.Errorf("threshold 0.3: %q, want A and B", lines)
+	}
+	if lines := regressions(old, cur, 0.4); len(lines) != 1 {
+		t.Errorf("threshold 0.4 (B sits exactly at -40%%): %q, want only A", lines)
+	}
+	if lines := regressions(old, cur, 0.9); len(lines) != 0 {
+		t.Errorf("generous threshold: %q, want none", lines)
 	}
 }
 

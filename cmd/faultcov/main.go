@@ -18,6 +18,20 @@
 //	faultcov -exp e17 -exhaustive-cf  # multi-million-fault exhaustive CF run
 //	faultcov -progress       # live faults/s, ETA and survivors on stderr
 //	faultcov -debug-addr :6060  # /metrics + /debug/pprof while running
+//	faultcov -exp e17 -checkpoint run.fckp            # durable campaign
+//	faultcov -exp e17 -checkpoint run.fckp -resume    # continue after a kill
+//
+// -checkpoint makes the streaming campaign sessions durable: the
+// session state (per-stage tallies, the cumulative detection bitmap
+// and a high-water mark) is written atomically to the file every
+// -checkpoint-every universe faults, at stage boundaries, on SIGINT/
+// SIGTERM, and at completion.  A signal cancels the campaign
+// cooperatively — in-flight work drains within one chunk, the final
+// checkpoint is flushed, partial tables print, and faultcov exits with
+// status 3.  -resume loads the checkpoint and fast-forwards the
+// matching session past the work already done; a checkpoint written by
+// a different campaign (spec, memory geometry or seed mismatch) or a
+// corrupt file is refused up front.
 //
 // -progress attaches the telemetry registry and streams two kinds of
 // stderr lines: periodic `# progress` lines during a stage (faults
@@ -66,14 +80,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/checkpoint"
 	"repro/internal/coverage"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -144,8 +162,35 @@ func main() {
 	exhaustiveCF := flag.Bool("exhaustive-cf", false, "run E17 over the full-scale exhaustive coupling universes (millions of fault instances, streaming engine only)")
 	progress := flag.Bool("progress", false, "stream live campaign progress (faults/s, ETA, survivors) and per-stage engine reports to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :6060) for the duration of the run")
+	checkpointPath := flag.String("checkpoint", "", "write streaming-campaign checkpoints atomically to this file (enables durable campaigns)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in universe faults (0 = the package default; requires -checkpoint)")
+	resume := flag.Bool("resume", false, "resume the campaign from the -checkpoint file if it exists")
 	flag.Parse()
 	exhaustiveCFSizes = *exhaustiveCF
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "faultcov: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	// Up-front flag validation: a bad combination must refuse before any
+	// campaign runs, not fail (or silently misbehave) hours in.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["chunk"] && *chunk < 1 {
+		fail("-chunk must be at least 1 (got %d)", *chunk)
+	}
+	if *workers < 0 {
+		fail("-workers must be non-negative (got %d)", *workers)
+	}
+	if explicit["checkpoint-every"] && *checkpointPath == "" {
+		fail("-checkpoint-every requires -checkpoint")
+	}
+	if *checkpointEvery < 0 {
+		fail("-checkpoint-every must be non-negative (got %d)", *checkpointEvery)
+	}
+	if *resume && *checkpointPath == "" {
+		fail("-resume requires -checkpoint")
+	}
 
 	eng, err := coverage.ParseEngine(*engine)
 	if err != nil {
@@ -167,6 +212,43 @@ func main() {
 	coverage.SetDefaultDrop(*drop)
 	coverage.SetDefaultChunk(*chunk)
 	repro.SetSampleSeed(*seed)
+
+	// SIGINT/SIGTERM cancel the campaign context: in-flight stages drain
+	// within a chunk, durable sessions flush a final checkpoint, and the
+	// partial tables still print before the exit-3 report below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	coverage.SetDefaultContext(ctx)
+
+	resumeOffered := false
+	if *checkpointPath != "" {
+		coverage.SetDefaultCheckpoint(&coverage.CheckpointConfig{
+			Path:  *checkpointPath,
+			Every: *checkpointEvery,
+			Label: fmt.Sprintf("faultcov -exp %s -engine %s -drop=%v -seed %d", strings.ToLower(*exp), eng, *drop, *seed),
+			Seed:  *seed,
+		})
+		if *resume {
+			st, err := checkpoint.Load(*checkpointPath)
+			switch {
+			case err == nil:
+				// The full identity (spec hash, geometry, stage order) is
+				// validated by the session that consumes the offer; the seed
+				// is checkable right here, so refuse the obvious mismatch
+				// before any simulation starts.
+				if st.Seed != *seed {
+					fail("-resume: checkpoint %q was written with seed %d, this run has seed %d", *checkpointPath, st.Seed, *seed)
+				}
+				coverage.SetDefaultResume(st)
+				resumeOffered = true
+				fmt.Fprintf(os.Stderr, "# resuming from %s (%q)\n", *checkpointPath, st.Label)
+			case os.IsNotExist(err):
+				fmt.Fprintf(os.Stderr, "# no checkpoint at %s yet; starting fresh\n", *checkpointPath)
+			default:
+				fail("-resume: %v", err)
+			}
+		}
+	}
 	if *progress || *debugAddr != "" {
 		reg := telemetry.NewRegistry()
 		if *progress {
@@ -267,5 +349,14 @@ func main() {
 		if *format != "json" {
 			fmt.Println()
 		}
+	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "# interrupted: tables above are partial; rerun with -checkpoint ... -resume to continue")
+		os.Exit(3)
+	}
+	if resumeOffered && coverage.DefaultResumePending() {
+		fmt.Fprintf(os.Stderr, "faultcov: checkpoint %s matched no campaign session of this run (wrong -exp or flags?)\n", *checkpointPath)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,166 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleState() *State {
+	return &State{
+		SpecHash:   Hash("universe", "runner-a", "runner-b", "compiled", "drop"),
+		Seed:       42,
+		Size:       1024,
+		Width:      4,
+		Label:      "-exp E17 -seed 42",
+		UniverseN:  9000,
+		StageNames: []string{"MATS+", "March C-"},
+		Done: []StageRecord{{
+			Runner: "MATS+", RunnerIndex: 1,
+			Entered: 9000, Detected: 7000, Survivors: 2000,
+			ByClass: []ClassTally{{Class: 0, Total: 4000, Detected: 3500}, {Class: 2, Total: 5000, Detected: 3500}},
+		}},
+		Cur: StageRecord{
+			Runner: "March C-", RunnerIndex: 0,
+			Entered: 400, Detected: 300,
+			ByClass: []ClassTally{{Class: 0, Total: 400, Detected: 300}},
+		},
+		HighWater: 4096,
+		Universe:  []ClassTally{{Class: 0, Total: 4000, Detected: 3600}, {Class: 2, Total: 5000, Detected: 3700}},
+		Bits:      []uint64{0xdeadbeef, 0, ^uint64(0), 1},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleState()
+	got, err := Decode(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mutated the state:\n got %+v\nwant %+v", got, want)
+	}
+	// Determinism: same state, same bytes.
+	if !bytes.Equal(want.Encode(), want.Encode()) {
+		t.Fatal("encoding is not deterministic")
+	}
+	// A minimal (fresh, pre-first-chunk) state round-trips too.
+	min := &State{UniverseN: -1, StageNames: []string{"only"}}
+	got, err = Decode(min.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, min) {
+		t.Fatalf("minimal round trip: got %+v want %+v", got, min)
+	}
+}
+
+// TestDecodeRejectsCorruption is the satellite's corrupt-file test:
+// every single-bit flip and every truncation of a valid file must be
+// rejected (almost always by the checksum; a flip inside the CRC
+// trailer itself is caught by the same comparison), never decoded into
+// a plausible-but-wrong state.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	b := sampleState().Encode()
+	for i := range b {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), b...)
+			mut[i] ^= 1 << bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("flipped bit %d of byte %d: decode accepted the corrupt file", bit, i)
+			}
+		}
+	}
+	for n := 0; n < len(b); n++ {
+		if _, err := Decode(b[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", n, err)
+		}
+	}
+	// Trailing garbage is also a corruption, not an extension point.
+	if _, err := Decode(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Fatal("decode accepted trailing garbage")
+	}
+}
+
+func TestDecodeRejectsForeignVersion(t *testing.T) {
+	b := sampleState().Encode()
+	// Patch the version field (right after the magic) and recompute the
+	// checksum so only the version mismatches.
+	b[len(magic)]++
+	body := b[:len(b)-4]
+	e := &enc{b: append([]byte(nil), body...)}
+	e.u32(crc32.Checksum(body, castagnoli))
+	if _, err := Decode(e.b); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	s := sampleState()
+	if !s.Matches(s.SpecHash, 1024, 4, 42) {
+		t.Fatal("state does not match its own identity")
+	}
+	for name, ok := range map[string]bool{
+		"spec":  s.Matches(s.SpecHash+1, 1024, 4, 42),
+		"size":  s.Matches(s.SpecHash, 512, 4, 42),
+		"width": s.Matches(s.SpecHash, 1024, 1, 42),
+		"seed":  s.Matches(s.SpecHash, 1024, 4, 7),
+	} {
+		if ok {
+			t.Errorf("mismatched %s accepted", name)
+		}
+	}
+}
+
+func TestHashDisambiguatesAdjacentFields(t *testing.T) {
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Fatal("field boundaries alias in the spec hash")
+	}
+	if Hash("a") == Hash("a", "") {
+		t.Fatal("empty trailing field aliases")
+	}
+}
+
+func TestWriteAtomicAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.fckp")
+	want := sampleState()
+	if err := WriteAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("load mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Overwrite leaves no temp litter behind.
+	want.HighWater++
+	if err := WriteAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "campaign.fckp" {
+		t.Fatalf("directory litter after overwrite: %v", ents)
+	}
+	// A missing file is a plain error, not a panic.
+	if _, err := Load(filepath.Join(dir, "absent.fckp")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	// A truncated file on disk surfaces ErrCorrupt through Load.
+	b, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,42 @@
+// Package checkpoint is the durable-state format of streaming coverage
+// campaigns: a versioned, checksummed, atomically-replaced snapshot
+// from which an interrupted session resumes without re-simulating
+// completed work.
+//
+// # What a checkpoint captures
+//
+// A State records the campaign specification fingerprint (spec hash,
+// memory geometry, sampling seed — resume refuses any mismatch), the
+// completed stages' result tallies, the in-flight stage's contiguous
+// completion frontier (HighWater: every universe index below it is
+// fully accounted, none above it), the cumulative detection bitmap
+// (one bit per universe fault), and the per-class universe tallies.
+// That is exactly the state the streaming executor cannot recompute
+// cheaply; everything else (compiled programs, clean-run baselines) is
+// rebuilt on resume from the plan itself.
+//
+// The consistency of the cut is the streaming executor's job: chunks
+// complete in scheduling order, but when checkpointing is active the
+// executor folds chunk verdicts into durable state only in contiguous
+// universe order (buffering the out-of-order tail), so a snapshot
+// taken at any instant describes a prefix-closed set of simulated
+// faults.  Resume then seeks the fault source past HighWater
+// (fault.Source.Skip — O(1) for the index-addressable generator
+// families) and continues; the resumed session's results are
+// byte-identical to an uninterrupted run's, a property the coverage
+// tests assert across universe families, engines and interrupt
+// points.
+//
+// # File format and failure model
+//
+// The encoding is little-endian, length-prefixed, magic "FCKP" +
+// version up front and a CRC-32C of the whole body as a trailer.
+// Decode verifies the checksum before trusting any field, so
+// truncation and bit flips surface as ErrCorrupt rather than as a
+// silently wrong resume.  WriteAtomic replaces the file via temp +
+// fsync + rename (plus a best-effort directory fsync): a crash at any
+// instant leaves either the old checkpoint or the new one, never a
+// torn file.  States carry no timestamps — the same campaign state
+// always encodes to the same bytes, so final checkpoints of resumed
+// and uninterrupted runs can be diffed directly.
+package checkpoint

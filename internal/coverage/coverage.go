@@ -5,6 +5,7 @@
 package coverage
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -117,6 +118,31 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// defaultCtx, when set, is the ambient context campaigns invoked
+// through the context-less entry points (Plan.Run, Campaign, Compare,
+// the experiment tables) execute under — the CLI installs its
+// signal-cancelled context here so SIGINT/SIGTERM reaches every shard
+// driver without threading a parameter through each experiment.
+var defaultCtx atomic.Pointer[context.Context]
+
+// SetDefaultContext installs the ambient campaign context (nil
+// restores context.Background()).
+func SetDefaultContext(ctx context.Context) {
+	if ctx == nil {
+		defaultCtx.Store(nil)
+		return
+	}
+	defaultCtx.Store(&ctx)
+}
+
+// DefaultContext returns the ambient campaign context.
+func DefaultContext() context.Context {
+	if p := defaultCtx.Load(); p != nil {
+		return *p
+	}
+	return context.Background()
+}
+
 // collapseOff disables structural fault collapsing on the compiled
 // engine; the zero value means collapsing is on.
 var collapseOff atomic.Bool
@@ -159,6 +185,14 @@ type Result struct {
 	// FalsePositive is set when the algorithm flags a fault-free
 	// memory — a broken configuration.
 	FalsePositive bool
+	// Interrupted marks a partial result: the campaign's context was
+	// cancelled before this stage finished.  Streaming sessions tally
+	// only the faults actually simulated (every count carries a true
+	// verdict); materialized sessions tally the whole presented view
+	// with unsimulated faults reading as undetected, so Detected is a
+	// lower bound there.  Either way the counts are well-formed but
+	// not the full campaign.
+	Interrupted bool
 	// Stats describes how the campaign actually executed.  Engine
 	// reports the strategy that really ran — when a replay-safe runner
 	// records a non-replayable trace or a false-positive clean run, the

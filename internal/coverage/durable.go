@@ -1,0 +1,318 @@
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// This file is the durability glue of streaming sessions: periodic
+// checkpoint writes from the serialized chunk sink, and resume.
+//
+// The consistency problem checkpointing has to solve is that chunks
+// complete in scheduling order, not universe order, while a usable
+// checkpoint must describe a prefix-closed cut ("everything below
+// HighWater is done, nothing above it").  When a session checkpoints,
+// the durable wrapper therefore folds chunk verdicts into the session
+// accumulators only in contiguous universe order: a chunk arriving at
+// the frontier is applied immediately (plus any buffered successors it
+// unblocks), an out-of-order chunk is copied into a reorder buffer
+// bounded by O(chunk × workers) — the most the drivers can have in
+// flight.  The session accumulators are then themselves always a
+// consistent cut, and a checkpoint is just their serialization; an
+// interrupt at any instant loses only the buffered out-of-order tail,
+// which the resumed run re-simulates.
+//
+// Resume is the mirror image: the source is Reset and Skip()ed past
+// HighWater (O(1) for the index-addressable generator families), the
+// shard driver's Base keeps delivered indices universe-absolute, and
+// the cumulative detection bitmap doubles as the stage's drop filter.
+// That filter is taken from the checkpoint — which already includes
+// the current stage's own detections below HighWater — rather than
+// from a stage-start snapshot as in an uninterrupted run; the two are
+// equivalent because a contiguous cut guarantees every current-stage
+// detection sits below HighWater, and no index below HighWater is ever
+// presented again.
+
+// DefaultCheckpointEvery is the checkpoint cadence (in universe faults
+// of frontier advance) used when CheckpointConfig.Every <= 0: frequent
+// enough that an interrupt loses at most ~1M faults (re-simulated in
+// well under a second on the compiled engine), rare enough that the
+// fsync+rename cost vanishes against simulation time.
+const DefaultCheckpointEvery = 1 << 20
+
+// CheckpointConfig enables durable checkpointing of a streaming
+// session.
+type CheckpointConfig struct {
+	// Path is the checkpoint file (written atomically: temp + fsync +
+	// rename).  Empty disables checkpointing.
+	Path string
+	// Every is the write cadence in universe faults of frontier
+	// advance (<= 0 selects DefaultCheckpointEvery).  A final write
+	// always happens at stage boundaries, on interrupt, and at session
+	// completion regardless of cadence.
+	Every int
+	// Label is a human-readable summary of the invocation (CLI flags),
+	// stored in the file for error messages; it does not participate in
+	// resume matching.
+	Label string
+	// Seed is the sampling seed of the universe the session streams
+	// (the faultcov -seed flag); resume refuses a checkpoint written
+	// under a different seed.
+	Seed int64
+	// Resume, when non-nil, fast-forwards the session from the state:
+	// completed stages are reconstructed from their records, the
+	// in-flight stage seeks past its high-water mark.  The state must
+	// match the plan's spec hash, geometry, seed and stage order — a
+	// mismatch panics (resuming an unrelated checkpoint would silently
+	// fabricate results).  CLIs validate first and refuse gracefully.
+	Resume *checkpoint.State
+}
+
+// ambientCheckpoint/ambientResume are the process defaults behind
+// SetDefaultCheckpoint/SetDefaultResume — the faultcov hook: flags are
+// parsed once, and every streaming session the selected experiment
+// runs picks them up without threading configuration through the
+// experiment tables.  The resume state is consumed by the first
+// session it matches; sessions it does not match run fresh (an
+// experiment may run several differently-specified sessions, only one
+// of which wrote the checkpoint).
+var (
+	ambientCheckpoint atomic.Pointer[CheckpointConfig]
+	ambientResume     atomic.Pointer[checkpoint.State]
+)
+
+// SetDefaultCheckpoint installs cfg as the checkpoint configuration of
+// streaming sessions whose Plan.Checkpoint is nil (nil uninstalls).
+func SetDefaultCheckpoint(cfg *CheckpointConfig) { ambientCheckpoint.Store(cfg) }
+
+// SetDefaultResume offers st to subsequently executed streaming
+// sessions; the first session whose specification matches consumes it
+// and resumes, all others run fresh.  nil clears the offer.
+func SetDefaultResume(st *checkpoint.State) { ambientResume.Store(st) }
+
+// DefaultResumePending reports whether a resume offer is still
+// unconsumed — after a run it means no session matched the checkpoint,
+// which a CLI should surface as an error rather than silently having
+// recomputed everything.
+func DefaultResumePending() bool { return ambientResume.Load() != nil }
+
+// PlanIdentity returns the spec hash, geometry and stage execution
+// order a streaming plan would stamp into its checkpoints — what a CLI
+// needs to validate a loaded checkpoint up front (ValidateResume) and
+// refuse gracefully instead of panicking mid-campaign.
+func (p *Plan) PlanIdentity() (specHash uint64, size, width int, stageNames []string) {
+	mem := p.Memory()
+	names := make([]string, len(p.Runners))
+	// OrderCheapestFirst sorts by measured clean-run cost, so identity
+	// must prepare stages exactly as the executor will — the clean runs
+	// land in the program cache and are not repeated by the session.
+	stages := make([]*stage, len(p.Runners))
+	for i, r := range p.Runners {
+		stages[i] = p.prepareStage(r, i, true)
+	}
+	for i, st := range p.executionOrder(stages) {
+		names[i] = st.runner.Name()
+	}
+	return p.specHash(), mem.Size(), mem.Width(), names
+}
+
+// specHash fingerprints the campaign specification: universe, runner
+// identities (TraceKey when available — display names can collide
+// across configurations), engine, dropping and ordering.  Chunk size
+// and worker count are deliberately excluded: they affect scheduling,
+// not results, so a resumed run may change them freely.
+func (p *Plan) specHash() uint64 {
+	parts := []string{
+		"universe=" + p.Stream.Name,
+		"engine=" + p.Engine.String(),
+		fmt.Sprintf("drop=%t", p.Drop),
+		fmt.Sprintf("order=%d", p.Order),
+	}
+	for _, r := range p.Runners {
+		if tk, ok := r.(TraceKeyer); ok {
+			parts = append(parts, "runner="+tk.TraceKey())
+		} else {
+			parts = append(parts, "runner="+r.Name())
+		}
+	}
+	return checkpoint.Hash(parts...)
+}
+
+// validateResume checks a loaded state against the resuming session's
+// identity.  A nil return means the state describes this exact
+// campaign and can be applied.
+func validateResume(rs *checkpoint.State, spec uint64, size, width int, seed int64, names []string) error {
+	if !rs.Matches(spec, size, width, seed) {
+		return fmt.Errorf("coverage: checkpoint %q was written by a different campaign "+
+			"(spec/geometry/seed mismatch: file has %dx%d seed %d)", rs.Label, rs.Size, rs.Width, rs.Seed)
+	}
+	if len(rs.StageNames) != len(names) {
+		return fmt.Errorf("coverage: checkpoint %q has %d stages, plan has %d", rs.Label, len(rs.StageNames), len(names))
+	}
+	for i, n := range names {
+		if rs.StageNames[i] != n {
+			return fmt.Errorf("coverage: checkpoint %q stage %d is %q, plan runs %q", rs.Label, i, rs.StageNames[i], n)
+		}
+	}
+	if len(rs.Done) > len(names) {
+		return fmt.Errorf("coverage: checkpoint %q records %d completed stages of %d", rs.Label, len(rs.Done), len(names))
+	}
+	for _, rec := range rs.Done {
+		if int(rec.RunnerIndex) < 0 || int(rec.RunnerIndex) >= len(names) {
+			return fmt.Errorf("coverage: checkpoint %q stage record indexes runner %d of %d", rs.Label, rec.RunnerIndex, len(names))
+		}
+	}
+	if rs.Complete && len(rs.Done) != len(names) {
+		return fmt.Errorf("coverage: checkpoint %q marked complete with %d of %d stages done", rs.Label, len(rs.Done), len(names))
+	}
+	return nil
+}
+
+// ValidateResume reports whether the state can resume this plan —
+// the CLI's up-front refusal path (the in-session validation panics,
+// treating a mismatched explicit Resume as a programmer error).
+func (p *Plan) ValidateResume(rs *checkpoint.State, seed int64) error {
+	spec, size, width, names := p.PlanIdentity()
+	return validateResume(rs, spec, size, width, seed, names)
+}
+
+// pendingChunk is one out-of-order chunk parked in the reorder buffer:
+// private copies, since the driver reuses the sink's slices.
+type pendingChunk struct {
+	n      int
+	idx    []int
+	faults []fault.Fault
+	det    []bool
+}
+
+// durable is one streaming session's checkpoint state machine.  All
+// mutation happens inside the serialized sink or between stages, so it
+// needs no locking of its own.
+type durable struct {
+	cfg   CheckpointConfig
+	every int
+	spec  uint64
+	size  int32
+	width int32
+
+	pending   map[int]pendingChunk
+	frontier  int // universe index: everything below is folded
+	lastWrite int
+
+	// snap builds the current-stage state at a given high-water mark;
+	// assigned by the executor at each stage's start.
+	snap func(highWater int) *checkpoint.State
+}
+
+func newDurable(cfg CheckpointConfig, spec uint64, size, width int) *durable {
+	every := cfg.Every
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	return &durable{cfg: cfg, every: every, spec: spec, size: int32(size), width: int32(width)}
+}
+
+// beginStage resets the fold frontier for a stage starting (or
+// resuming) at universe index base.
+func (d *durable) beginStage(base int) {
+	d.pending = make(map[int]pendingChunk)
+	d.frontier = base
+	d.lastWrite = base
+}
+
+// wrap returns a ChunkSink that folds chunks into inner in contiguous
+// universe order, buffering out-of-order arrivals, and writes a
+// checkpoint whenever the frontier has advanced a full cadence.
+func (d *durable) wrap(inner sim.ChunkSink) sim.ChunkSink {
+	return func(base, n int, idx []int, faults []fault.Fault, det []bool) {
+		if base != d.frontier {
+			d.pending[base] = pendingChunk{
+				n:      n,
+				idx:    append([]int(nil), idx...),
+				faults: append([]fault.Fault(nil), faults...),
+				det:    append([]bool(nil), det...),
+			}
+			return
+		}
+		inner(base, n, idx, faults, det)
+		d.frontier += n
+		for {
+			pc, ok := d.pending[d.frontier]
+			if !ok {
+				break
+			}
+			delete(d.pending, d.frontier)
+			inner(d.frontier, pc.n, pc.idx, pc.faults, pc.det)
+			d.frontier += pc.n
+		}
+		if d.frontier-d.lastWrite >= d.every {
+			d.write(d.snap(d.frontier))
+		}
+	}
+}
+
+// flush writes the current stage's state at the fold frontier — the
+// interrupt path's final checkpoint.
+func (d *durable) flush() {
+	if d.snap != nil {
+		d.write(d.snap(d.frontier))
+	}
+}
+
+// write persists st atomically.  A failing write panics: checkpointing
+// was explicitly requested, and silently continuing without durability
+// is worse than stopping — the campaign is resumable up to the last
+// successful write.
+func (d *durable) write(st *checkpoint.State) {
+	t0 := time.Now()
+	if err := checkpoint.WriteAtomic(d.cfg.Path, st); err != nil {
+		panic(fmt.Sprintf("coverage: checkpoint write: %v", err))
+	}
+	telemetry.Active().CheckpointWrite(time.Since(t0))
+	d.lastWrite = d.frontier
+}
+
+// resultTallies converts a Result's per-class map to the checkpoint's
+// sorted representation.
+func resultTallies(m map[fault.Class]ClassStat) []checkpoint.ClassTally {
+	out := make([]checkpoint.ClassTally, 0, len(m))
+	for c, s := range m {
+		out = append(out, checkpoint.ClassTally{Class: int32(c), Total: int64(s.Total), Detected: int64(s.Detected)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// classTallies converts the session's universe class tallies to the
+// checkpoint's sorted representation.
+func classTallies(total, det map[fault.Class]int) []checkpoint.ClassTally {
+	out := make([]checkpoint.ClassTally, 0, len(total))
+	for c, t := range total {
+		out = append(out, checkpoint.ClassTally{Class: int32(c), Total: int64(t), Detected: int64(det[c])})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// tallyMaps is the inverse of classTallies: seed the session's
+// universe class maps from a checkpoint.
+func tallyMaps(ts []checkpoint.ClassTally, total, det map[fault.Class]int) {
+	for _, t := range ts {
+		total[fault.Class(t.Class)] = int(t.Total)
+		det[fault.Class(t.Class)] = int(t.Detected)
+	}
+}
+
+// applyTallies seeds a Result's per-class map from a stage record.
+func applyTallies(ts []checkpoint.ClassTally, m map[fault.Class]ClassStat) {
+	for _, t := range ts {
+		m[fault.Class(t.Class)] = ClassStat{Total: int(t.Total), Detected: int(t.Detected)}
+	}
+}

@@ -1,0 +1,351 @@
+package coverage
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+)
+
+// The resume-equivalence property (this PR's acceptance criterion):
+// for every universe family and all three engines, a session
+// interrupted at an arbitrary point and resumed from its checkpoint
+// produces Results byte-identical to an uninterrupted run — and the
+// final checkpoint files of the two runs are byte-identical too (the
+// format carries no timestamps).  Interrupt points cover the three
+// qualitatively different cuts: before the first chunk, mid-stage, and
+// at a stage boundary.
+
+// cancelSource interposes on a Source to cancel a context at a chosen
+// enumeration point: during the k-th chunk pull, or at the k-th Reset
+// (stage starts).  Skip and Count pass through.
+type cancelSource struct {
+	fault.Source
+	cancel        context.CancelFunc
+	cancelAtNext  int // 1-based pull index; 0 disables
+	cancelAtReset int // 1-based Reset index; 0 disables
+	nexts, resets int
+}
+
+func (c *cancelSource) Next(dst []fault.Fault) (int, bool) {
+	c.nexts++
+	if c.nexts == c.cancelAtNext {
+		c.cancel()
+	}
+	return c.Source.Next(dst)
+}
+
+func (c *cancelSource) Reset() {
+	c.resets++
+	if c.resets == c.cancelAtReset {
+		c.cancel()
+	}
+	c.Source.Reset()
+}
+
+// assertWellFormed checks the partial-session contract: an interrupted
+// session is tagged, its tallies are internally consistent, and no
+// stage beyond the interrupted one was executed.
+func assertWellFormed(t *testing.T, label string, s *Session) {
+	t.Helper()
+	if !s.Interrupted || !s.Cumulative.Interrupted {
+		t.Fatalf("%s: cancelled session not tagged interrupted", label)
+	}
+	for i, r := range s.Results {
+		if r.Detected > r.Total {
+			t.Errorf("%s runner %d: detected %d > total %d", label, i, r.Detected, r.Total)
+		}
+		total, det := 0, 0
+		for _, cs := range r.ByClass {
+			total += cs.Total
+			det += cs.Detected
+		}
+		if r.Runner != "" && (total != r.Total || det != r.Detected) {
+			t.Errorf("%s runner %d: class tallies %d/%d disagree with totals %d/%d",
+				label, i, det, total, r.Detected, r.Total)
+		}
+	}
+	if n := len(s.Stages); n > 0 {
+		last := s.Stages[n-1]
+		if !s.Results[last.RunnerIndex].Interrupted {
+			t.Errorf("%s: last executed stage's Result not tagged interrupted", label)
+		}
+	}
+}
+
+func TestResumeEquivalence(t *testing.T) {
+	engines := []Engine{EngineOracle, EngineBitParallel, EngineCompiled}
+	families := streamFamilies()
+	if testing.Short() {
+		engines = engines[1:]
+		families = families[:3]
+	}
+	type mode struct {
+		name          string
+		preCancel     bool
+		cancelAtNext  int
+		cancelAtReset int
+	}
+	modes := []mode{
+		{name: "pre-first-chunk", preCancel: true},
+		{name: "mid-stage", cancelAtNext: 4},
+		{name: "stage-boundary", cancelAtReset: 2},
+	}
+	for _, fam := range families {
+		count, _ := fam.src.Count()
+		chunk := count/16 + 1 // ~16 chunks per stage, so mid-stage cancels always leave work
+		for _, engine := range engines {
+			for _, m := range modes {
+				label := fmt.Sprintf("%s [%s %s]", fam.name, engine, m.name)
+				dir := t.TempDir()
+				fileA := filepath.Join(dir, "ref.fckp")
+				fileB := filepath.Join(dir, "interrupted.fckp")
+				mkPlan := func(src fault.Source, path string, rs *checkpoint.State) *Plan {
+					return &Plan{
+						Runners: fam.runners,
+						Stream:  &fault.Stream{Name: fam.name, Source: src},
+						Chunk:   chunk, Memory: fam.mk, Workers: 4,
+						Engine: engine, Drop: true,
+						Checkpoint: &CheckpointConfig{
+							Path: path, Every: chunk, Label: "prop", Seed: 7, Resume: rs,
+						},
+					}
+				}
+
+				want := mkPlan(fam.src, fileA, nil).Run()
+				if want.Interrupted {
+					t.Fatalf("%s: reference run reports interrupted", label)
+				}
+
+				ctx, cancel := context.WithCancel(context.Background())
+				if m.preCancel {
+					cancel()
+				}
+				cs := &cancelSource{
+					Source: fam.src, cancel: cancel,
+					cancelAtNext: m.cancelAtNext, cancelAtReset: m.cancelAtReset,
+				}
+				part := mkPlan(cs, fileB, nil).RunContext(ctx)
+				cancel()
+				assertWellFormed(t, label, part)
+
+				rs, err := checkpoint.Load(fileB)
+				if err != nil {
+					t.Fatalf("%s: loading the interrupt checkpoint: %v", label, err)
+				}
+				got := mkPlan(fam.src, fileB, rs).Run()
+				if got.Interrupted {
+					t.Fatalf("%s: resumed run reports interrupted", label)
+				}
+				assertSessionsEqual(t, label, want, got)
+
+				a, errA := os.ReadFile(fileA)
+				b, errB := os.ReadFile(fileB)
+				if errA != nil || errB != nil {
+					t.Fatalf("%s: reading final checkpoints: %v / %v", label, errA, errB)
+				}
+				if !bytes.Equal(a, b) {
+					t.Errorf("%s: final checkpoint files differ between the uninterrupted and resumed runs", label)
+				}
+			}
+		}
+	}
+}
+
+// Resuming a checkpoint marked complete reconstructs the whole session
+// from its records without re-simulating anything.
+func TestResumeCompletedSession(t *testing.T) {
+	fam := streamFamilies()[0]
+	path := filepath.Join(t.TempDir(), "done.fckp")
+	mkPlan := func(rs *checkpoint.State) *Plan {
+		return &Plan{
+			Runners: fam.runners,
+			Stream:  &fault.Stream{Name: fam.name, Source: fam.src},
+			Chunk:   16, Memory: fam.mk, Workers: 4,
+			Engine: EngineCompiled, Drop: true,
+			Checkpoint: &CheckpointConfig{Path: path, Label: "done", Seed: 3, Resume: rs},
+		}
+	}
+	want := mkPlan(nil).Run()
+	rs, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Complete {
+		t.Fatal("finished session's checkpoint not marked complete")
+	}
+	// Count pulls: a completed resume must touch the source zero times.
+	cs := &cancelSource{Source: fam.src, cancel: func() {}}
+	p := mkPlan(rs)
+	p.Stream.Source = cs
+	got := p.Run()
+	if cs.nexts != 0 {
+		t.Errorf("resuming a complete checkpoint pulled %d chunks, want 0", cs.nexts)
+	}
+	assertSessionsEqual(t, "complete-resume", want, got)
+}
+
+// Mismatched-resume safety: a checkpoint from a different campaign is
+// refused by ValidateResume (the CLI path) and panics when forced in
+// as an explicit Plan.Checkpoint.Resume (the programmer-error path).
+func TestResumeMismatchRefused(t *testing.T) {
+	fam := streamFamilies()[0]
+	path := filepath.Join(t.TempDir(), "c.fckp")
+	mkPlan := func(engine Engine, runners []Runner, rs *checkpoint.State) *Plan {
+		return &Plan{
+			Runners: runners,
+			Stream:  &fault.Stream{Name: fam.name, Source: fam.src},
+			Chunk:   16, Memory: fam.mk, Workers: 4,
+			Engine: engine, Drop: true,
+			Checkpoint: &CheckpointConfig{Path: path, Label: "orig", Seed: 7, Resume: rs},
+		}
+	}
+	mkPlan(EngineCompiled, fam.runners, nil).Run()
+	rs, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mkPlan(EngineCompiled, fam.runners, nil).ValidateResume(rs, 7); err != nil {
+		t.Fatalf("matching resume refused: %v", err)
+	}
+	if err := mkPlan(EngineCompiled, fam.runners, nil).ValidateResume(rs, 8); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	if err := mkPlan(EngineBitParallel, fam.runners, nil).ValidateResume(rs, 7); err == nil {
+		t.Error("engine (spec hash) mismatch accepted")
+	}
+	if err := mkPlan(EngineCompiled, fam.runners[:1], nil).ValidateResume(rs, 7); err == nil {
+		t.Error("stage-list mismatch accepted")
+	}
+	other := &Plan{
+		Runners: fam.runners,
+		Stream:  &fault.Stream{Name: fam.name, Source: fam.src},
+		Memory:  womFactory(32, 4), Engine: EngineCompiled, Drop: true,
+	}
+	if err := other.ValidateResume(rs, 7); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+	// A truncated file surfaces a load error before any of this runs.
+	b, _ := os.ReadFile(path)
+	trunc := filepath.Join(t.TempDir(), "trunc.fckp")
+	if err := os.WriteFile(trunc, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.Load(trunc); err == nil {
+		t.Error("truncated checkpoint loaded")
+	}
+	// An ambient resume offer that matches nothing is ignored, not fatal.
+	SetDefaultResume(rs)
+	defer SetDefaultResume(nil)
+	fresh := (&Plan{
+		Runners: fam.runners[:1],
+		Stream:  &fault.Stream{Name: fam.name, Source: fam.src},
+		Chunk:   16, Memory: fam.mk, Workers: 4, Engine: EngineCompiled,
+		Checkpoint: &CheckpointConfig{Path: filepath.Join(t.TempDir(), "f.fckp"), Seed: 7},
+	}).Run()
+	if fresh.Interrupted || fresh.Results[0].Total == 0 {
+		t.Error("session with a non-matching ambient resume did not run fresh")
+	}
+	// Forcing the mismatch in explicitly is a programmer error: panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("explicit mismatched Resume did not panic")
+		}
+	}()
+	mkPlan(EngineBitParallel, fam.runners, rs).Run()
+}
+
+// KeepVectors holds per-fault verdict vectors that checkpoints do not
+// persist; combining the two must fail loudly, not drop data.
+func TestCheckpointRejectsKeepVectors(t *testing.T) {
+	fam := streamFamilies()[0]
+	defer func() {
+		if recover() == nil {
+			t.Error("KeepVectors + Checkpoint did not panic")
+		}
+	}()
+	(&Plan{
+		Runners: fam.runners,
+		Stream:  &fault.Stream{Name: fam.name, Source: fam.src},
+		Memory:  fam.mk, Engine: EngineCompiled, KeepVectors: true,
+		Checkpoint: &CheckpointConfig{Path: filepath.Join(t.TempDir(), "kv.fckp")},
+	}).Run()
+}
+
+// TestCancellationHammer is the satellite race test: many concurrent
+// streaming campaigns cancelled at staggered points must all drain
+// their workers, return well-formed partial sessions, and leak no
+// goroutines.  Run it under -race (the CI race job does).
+func TestCancellationHammer(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 6
+	}
+	baseline := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Per-campaign source and plan: sources are stateful.
+			fam := streamFamilies()[i%2]
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				time.Sleep(time.Duration(i%7) * 150 * time.Microsecond)
+				cancel()
+			}()
+			engines := []Engine{EngineOracle, EngineBitParallel, EngineCompiled}
+			s := (&Plan{
+				Runners: fam.runners,
+				Stream:  &fault.Stream{Name: fam.name, Source: fam.src},
+				Chunk:   3, Memory: fam.mk, Workers: 3,
+				Engine: engines[i%3], Drop: true,
+			}).RunContext(ctx)
+			for j, r := range s.Results {
+				if r.Detected > r.Total {
+					t.Errorf("campaign %d runner %d: detected %d > total %d", i, j, r.Detected, r.Total)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Workers must have drained: the goroutine count returns to (near)
+	// baseline once the runtime reclaims finished goroutines.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak after cancelled campaigns: %d running, baseline %d",
+		runtime.NumGoroutine(), baseline)
+}
+
+// Materialized sessions honour cancellation too: a cancelled context
+// yields a tagged, well-formed partial session.
+func TestMaterializedCancellation(t *testing.T) {
+	fam := streamFamilies()[0]
+	u := fault.Universe{Name: fam.name, Faults: fault.Collect(fam.src)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, engine := range []Engine{EngineOracle, EngineBitParallel, EngineCompiled} {
+		s := (&Plan{
+			Runners: fam.runners, Universe: u, Memory: fam.mk,
+			Workers: 4, Engine: engine,
+		}).RunContext(ctx)
+		assertWellFormed(t, fmt.Sprintf("materialized [%s]", engine), s)
+		if len(s.Stages) != 1 {
+			t.Errorf("[%s]: cancelled-before-start session ran %d stages, want 1", engine, len(s.Stages))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package coverage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -124,6 +125,12 @@ type Plan struct {
 	// for runners implementing TraceKeyer.  SharedProgramCache() is the
 	// process-wide instance the CLI and benchmarks use.
 	Cache *sim.ProgramCache
+	// Checkpoint, when non-nil with a Path, makes a streaming session
+	// durable: its state is persisted atomically on a cadence and the
+	// session can resume from a prior checkpoint (durable.go).  nil
+	// falls back to the process default (SetDefaultCheckpoint).
+	// Materialized sessions ignore it.
+	Checkpoint *CheckpointConfig
 }
 
 // StageStat reports one executed stage, in execution order.
@@ -166,6 +173,11 @@ type Session struct {
 	// Vectors (KeepVectors only) holds per-runner verdicts over the
 	// full universe, index-aligned with Plan.Runners.
 	Vectors [][]Verdict
+	// Interrupted reports that the session's context was cancelled
+	// before every stage finished: the results cover only the work done
+	// up to the cancellation point (the last running stage's Result is
+	// itself tagged Interrupted, and later stages never ran).
+	Interrupted bool
 }
 
 // defaultDrop is the Drop value Compare-built sessions use (the CLI's
@@ -214,10 +226,19 @@ type stage struct {
 	cacheTried    bool // a program-cache lookup happened during prepare
 }
 
-// Run executes the session.
-func (p *Plan) Run() *Session {
+// Run executes the session under the process default context (see
+// SetDefaultContext — context.Background() unless a CLI installed a
+// signal-aware one).
+func (p *Plan) Run() *Session { return p.RunContext(DefaultContext()) }
+
+// RunContext executes the session under ctx.  Cancellation is
+// cooperative at batch/chunk granularity: the in-flight stage drains
+// its workers, its partial verdicts are folded into a well-formed
+// Result tagged Interrupted, remaining stages are skipped, and the
+// session returns with Session.Interrupted set.
+func (p *Plan) RunContext(ctx context.Context) *Session {
 	if p.Stream != nil {
-		return p.runStream()
+		return p.runStream(ctx)
 	}
 	workers := p.Workers
 	if workers <= 0 {
@@ -258,7 +279,7 @@ func (p *Plan) Run() *Session {
 			reg.BeginStage(st.runner.Name(), int64(view.Len()))
 		}
 		t0 := time.Now()
-		det, stats := p.detect(st, view, workers, arenas)
+		det, stats, err := p.detect(ctx, st, view, workers, arenas)
 		finishStage(stats, st, view.Len(), time.Since(t0), reg, before)
 		res := Result{
 			Runner:        st.runner.Name(),
@@ -268,6 +289,7 @@ func (p *Plan) Run() *Session {
 			OpsCleanRun:   st.cleanOps,
 			FalsePositive: st.falsePositive,
 			Stats:         stats,
+			Interrupted:   err != nil,
 		}
 		for i := 0; i < view.Len(); i++ {
 			cs := res.ByClass[view.At(i).Class()]
@@ -308,6 +330,13 @@ func (p *Plan) Run() *Session {
 			CacheHit:    st.cacheHit,
 			Stats:       stats,
 		})
+		if err != nil {
+			// Cancelled mid-stage: the verdict slice covers only the
+			// batches that ran (unsimulated faults read as undetected, so
+			// Detected is a lower bound).  Remaining stages never run.
+			s.Interrupted = true
+			break
+		}
 		if p.Drop {
 			if surv == nil {
 				surv = fault.NewBitSet(nFaults)
@@ -332,11 +361,12 @@ func (p *Plan) Run() *Session {
 
 	// Session-level cumulative coverage.
 	cumRes := Result{
-		Runner:   p.sessionName(),
-		Universe: p.Universe.Name,
-		Total:    nFaults,
-		Detected: cumDetected,
-		ByClass:  make(map[fault.Class]ClassStat),
+		Runner:      p.sessionName(),
+		Universe:    p.Universe.Name,
+		Total:       nFaults,
+		Detected:    cumDetected,
+		ByClass:     make(map[fault.Class]ClassStat),
+		Interrupted: s.Interrupted,
 	}
 	for i, f := range p.Universe.Faults {
 		cs := cumRes.ByClass[f.Class()]
@@ -539,8 +569,10 @@ func runClean(r Runner, mk MemoryFactory) (falsePositive bool, ops uint64) {
 }
 
 // detect runs one stage over the view and returns per-view-position
-// verdicts plus the engine report.
-func (p *Plan) detect(st *stage, view fault.View, workers int, arenas *sim.ArenaPool) ([]bool, *EngineStats) {
+// verdicts plus the engine report.  The error is non-nil exactly when
+// ctx was cancelled (the verdicts then cover only the batches that
+// ran); any other driver failure panics, as a broken engine invariant.
+func (p *Plan) detect(ctx context.Context, st *stage, view fault.View, workers int, arenas *sim.ArenaPool) ([]bool, *EngineStats, error) {
 	switch {
 	case st.prog != nil:
 		v := view
@@ -551,8 +583,8 @@ func (p *Plan) detect(st *stage, view fault.View, workers int, arenas *sim.Arena
 			col = fault.CollapseView(view, &sum)
 			v = fault.Span(col.Reps)
 		}
-		d, w, err := sim.ShardsCompiledView(st.prog, v, workers, arenas)
-		if err != nil {
+		d, w, err := sim.ShardsCompiledView(ctx, st.prog, v, workers, arenas)
+		if err != nil && ctx.Err() == nil {
 			panic(fmt.Sprintf("coverage: compiled replay of %s on %s: %v", st.runner.Name(), p.Universe.Name, err))
 		}
 		if collapsed {
@@ -560,7 +592,9 @@ func (p *Plan) detect(st *stage, view fault.View, workers int, arenas *sim.Arena
 			// The shard driver counted the representatives it simulated;
 			// credit the expanded remainder so the registry's presented-
 			// fault total (and the progress Done count) stays exact.
-			if reg := telemetry.Active(); reg != nil && view.Len() > v.Len() {
+			// Skipped on cancellation: the stage did not finish, so the
+			// progress total is not owed.
+			if reg := telemetry.Active(); reg != nil && err == nil && view.Len() > v.Len() {
 				reg.Flush(reg.Worker(0), &telemetry.Local{Faults: uint64(view.Len() - v.Len())})
 			}
 		}
@@ -570,28 +604,32 @@ func (p *Plan) detect(st *stage, view fault.View, workers int, arenas *sim.Arena
 			Reps:       v.Len(),
 			ProgramOps: st.prog.Ops(),
 			TrimmedOps: st.prog.TrimmedOps(),
-		}
+		}, err
 	case st.tr != nil:
-		d, w, err := sim.ShardsView(st.tr, view, workers)
-		if err != nil {
+		d, w, err := sim.ShardsView(ctx, st.tr, view, workers)
+		if err != nil && ctx.Err() == nil {
 			panic(fmt.Sprintf("coverage: bitpar replay of %s on %s: %v", st.runner.Name(), p.Universe.Name, err))
 		}
-		return d, &EngineStats{Engine: EngineBitParallel, Workers: w, Reps: view.Len()}
+		return d, &EngineStats{Engine: EngineBitParallel, Workers: w, Reps: view.Len()}, err
 	default:
-		d, w := oracleDetectView(st.runner, view, p.Memory, workers)
-		return d, &EngineStats{Engine: EngineOracle, Workers: w, Reps: view.Len()}
+		d, w, err := oracleDetectView(ctx, st.runner, view, p.Memory, workers)
+		return d, &EngineStats{Engine: EngineOracle, Workers: w, Reps: view.Len()}, err
 	}
 }
 
 // oracleDetectView is the reference path over a view: one full
 // algorithm run per presented fault, distributed over workers with an
-// atomic cursor.  It also returns the effective worker count.
-func oracleDetectView(r Runner, v fault.View, mk MemoryFactory, workers int) ([]bool, int) {
+// atomic cursor.  It also returns the effective worker count, and
+// ctx.Err() when cancelled mid-run (the cancellation check is per
+// fault claim — one algorithm run is the natural response granularity
+// here, matching the replay drivers' per-batch check).
+func oracleDetectView(ctx context.Context, r Runner, v fault.View, mk MemoryFactory, workers int) ([]bool, int, error) {
 	n := v.Len()
 	detected := make([]bool, n)
 	if workers > n {
 		workers = n
 	}
+	ctxDone := ctx.Done()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	reg := telemetry.Active()
@@ -608,6 +646,11 @@ func oracleDetectView(r Runner, v fault.View, mk MemoryFactory, workers int) ([]
 				idx := int(cursor.Add(1)) - 1
 				if idx >= n {
 					return
+				}
+				select {
+				case <-ctxDone:
+					return
+				default:
 				}
 				var t0 time.Time
 				if tw != nil {
@@ -628,7 +671,7 @@ func oracleDetectView(r Runner, v fault.View, mk MemoryFactory, workers int) ([]
 		}(w)
 	}
 	wg.Wait()
-	return detected, workers
+	return detected, workers, ctx.Err()
 }
 
 // FormatStages renders the session's stage progression as one line:

@@ -1,10 +1,12 @@
 package coverage
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -27,6 +29,13 @@ import (
 // replay engines additionally require every streamed fault to support
 // batch injection (all built-in fault models do); the per-fault oracle
 // path has no such constraint.
+//
+// Durability (durable.go) composes onto the same loop: when a
+// checkpoint is configured the chunk sink is wrapped to fold verdicts
+// in contiguous universe order and persist the session state on a
+// cadence, and a resumed session reconstructs its completed stages
+// from the checkpoint and Skip()s the source past the in-flight
+// stage's high-water mark.
 
 // defaultChunk is the chunk size streaming sessions use when
 // Plan.Chunk <= 0 (the faultcov -chunk flag); its own zero value
@@ -75,7 +84,7 @@ func CompareStream(runners []Runner, s *fault.Stream, mk MemoryFactory, workers,
 }
 
 // runStream executes a streaming session.
-func (p *Plan) runStream() *Session {
+func (p *Plan) runStream(ctx context.Context) *Session {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -96,6 +105,41 @@ func (p *Plan) runStream() *Session {
 	}
 	order := p.executionOrder(stages)
 
+	// Durability setup: an explicit Plan.Checkpoint wins, else the
+	// process default (the faultcov flags).  The resume state is either
+	// explicit (strict: a mismatch is a programmer error) or the
+	// ambient offer, consumed only if it matches this session.
+	var d *durable
+	var rs *checkpoint.State
+	var names []string
+	cp := p.Checkpoint
+	if cp == nil {
+		cp = ambientCheckpoint.Load()
+	}
+	if cp != nil && cp.Path != "" {
+		if p.KeepVectors {
+			panic("coverage: KeepVectors is incompatible with checkpointing (verdict vectors are not persisted)")
+		}
+		mem := p.Memory()
+		spec := p.specHash()
+		names = make([]string, len(order))
+		for i, st := range order {
+			names[i] = st.runner.Name()
+		}
+		d = newDurable(*cp, spec, mem.Size(), mem.Width())
+		if cp.Resume != nil {
+			if err := validateResume(cp.Resume, spec, mem.Size(), mem.Width(), cp.Seed, names); err != nil {
+				panic(err.Error())
+			}
+			rs = cp.Resume
+		} else if amb := ambientResume.Load(); amb != nil {
+			if validateResume(amb, spec, mem.Size(), mem.Width(), cp.Seed, names) == nil &&
+				ambientResume.CompareAndSwap(amb, nil) {
+				rs = amb
+			}
+		}
+	}
+
 	s := &Session{Results: make([]Result, len(p.Runners))}
 	if p.KeepVectors {
 		s.Vectors = make([][]Verdict, len(p.Runners))
@@ -107,10 +151,72 @@ func (p *Plan) runStream() *Session {
 	arenas := &sim.ArenaPool{}
 	reg := telemetry.Active()
 	universeN := -1 // presented count of the first executed stage = |universe|
-	for _, st := range order {
+	doneStages := 0
+	var doneRecs []checkpoint.StageRecord
+
+	// Resume: seed the session accumulators from the checkpoint and
+	// reconstruct the completed stages' results from their records (the
+	// stage metadata — clean-run cost, cache hits — comes from the
+	// preparation above, which ran either way).
+	if rs != nil {
+		cum = fault.BitSetFromWords(append([]uint64(nil), rs.Bits...))
+		cumDetected = cum.Count()
+		tallyMaps(rs.Universe, classTotal, classDet)
+		universeN = int(rs.UniverseN)
+		doneStages = len(rs.Done)
+		doneRecs = append(doneRecs, rs.Done...)
+		for _, rec := range rs.Done {
+			st := stages[rec.RunnerIndex]
+			res := Result{
+				Runner:        rec.Runner,
+				Universe:      p.Stream.Name,
+				Total:         int(rec.Entered),
+				Detected:      int(rec.Detected),
+				ByClass:       make(map[fault.Class]ClassStat),
+				OpsCleanRun:   st.cleanOps,
+				FalsePositive: st.falsePositive,
+			}
+			applyTallies(rec.ByClass, res.ByClass)
+			s.Results[rec.RunnerIndex] = res
+			s.Stages = append(s.Stages, StageStat{
+				Runner:      rec.Runner,
+				RunnerIndex: int(rec.RunnerIndex),
+				Entered:     int(rec.Entered),
+				Detected:    int(rec.Detected),
+				Survivors:   int(rec.Survivors),
+				CacheHit:    st.cacheHit,
+			})
+		}
+	}
+
+	// buildState serializes the session accumulators; cur is the
+	// in-flight stage's partial record (zero between stages).
+	buildState := func(cur checkpoint.StageRecord, highWater int, complete bool) *checkpoint.State {
+		return &checkpoint.State{
+			SpecHash:   d.spec,
+			Seed:       d.cfg.Seed,
+			Size:       d.size,
+			Width:      d.width,
+			Label:      d.cfg.Label,
+			UniverseN:  int64(universeN),
+			StageNames: names,
+			Done:       append([]checkpoint.StageRecord(nil), doneRecs...),
+			Cur:        cur,
+			HighWater:  int64(highWater),
+			Complete:   complete,
+			Universe:   classTallies(classTotal, classDet),
+			Bits:       append([]uint64(nil), cum.Words()...),
+		}
+	}
+
+	for si := doneStages; si < len(order); si++ {
+		st := order[si]
 		// The survivor filter for this stage is the cumulative detection
 		// bitmap so far, snapshotted: the sink below keeps updating cum
-		// while workers read the snapshot.
+		// while workers read the snapshot.  (On resume the snapshot also
+		// carries this stage's own pre-interrupt detections — equivalent,
+		// since those indices are below the seek point and never
+		// presented again.)
 		var stageDrop *fault.BitSet
 		if p.Drop && cumDetected > 0 {
 			stageDrop = cum.Clone()
@@ -121,6 +227,15 @@ func (p *Plan) runStream() *Session {
 			ByClass:       make(map[fault.Class]ClassStat),
 			OpsCleanRun:   st.cleanOps,
 			FalsePositive: st.falsePositive,
+		}
+		base := 0
+		if rs != nil && si == doneStages && !rs.Complete {
+			// Resuming into this stage: restore its partial tallies and
+			// seek past the contiguous completed prefix.
+			base = int(rs.HighWater)
+			res.Total = int(rs.Cur.Entered)
+			res.Detected = int(rs.Cur.Detected)
+			applyTallies(rs.Cur.ByClass, res.ByClass)
 		}
 		var vec []Verdict
 		if s.Vectors != nil {
@@ -136,7 +251,7 @@ func (p *Plan) runStream() *Session {
 		if stageDrop != nil {
 			vecFill = VerdictDropped // what undelivered positions mean this stage
 		}
-		sink := func(idx []int, faults []fault.Fault, det []bool) {
+		sink := sim.ChunkSink(func(_, _ int, idx []int, faults []fault.Fault, det []bool) {
 			for i, f := range faults {
 				c := f.Class()
 				cs := res.ByClass[c]
@@ -170,16 +285,35 @@ func (p *Plan) runStream() *Session {
 			if reg != nil && exactCount {
 				reg.ReportSurvivors(int64(count - cumDetected))
 			}
+		})
+		if d != nil {
+			d.beginStage(base)
+			d.snap = func(hw int) *checkpoint.State {
+				return buildState(checkpoint.StageRecord{
+					Runner:      st.runner.Name(),
+					RunnerIndex: int32(st.index),
+					Entered:     int64(res.Total),
+					Detected:    int64(res.Detected),
+					ByClass:     resultTallies(res.ByClass),
+				}, hw, false)
+			}
+			sink = d.wrap(sink)
 		}
 		src.Reset()
+		if base > 0 {
+			if skipped := src.Skip(base); skipped != base {
+				panic(fmt.Sprintf("coverage: resume seek of %s to %d stopped at %d — source shorter than the checkpoint's universe",
+					p.Stream.Name, base, skipped))
+			}
+		}
 		var before telemetry.Snapshot
 		if reg != nil {
 			before = reg.Snapshot()
 			// The stage will present the universe minus what earlier
 			// stages already detected (the drop filter); an inexact Count
-			// leaves the progress total unknown.
+			// (or a mid-stage resume) leaves the progress total unknown.
 			total := int64(0)
-			if exactCount {
+			if exactCount && base == 0 {
 				total = int64(count)
 				if stageDrop != nil {
 					total -= int64(cumDetected)
@@ -188,14 +322,19 @@ func (p *Plan) runStream() *Session {
 			reg.BeginStage(st.runner.Name(), total)
 		}
 		t0 := time.Now()
-		stats := p.detectStream(st, src, chunk, workers, stageDrop, arenas, sink)
+		cfg := sim.StreamConfig{Chunk: chunk, Workers: workers, Drop: stageDrop, Base: base, Arenas: arenas}
+		stats, err := p.detectStream(ctx, st, src, cfg, sink)
 		finishStage(stats, st, res.Total, time.Since(t0), reg, before)
 		res.Stats = stats
-		if tallyUniverse {
+		if err != nil {
+			res.Interrupted = true
+			s.Interrupted = true
+		}
+		if tallyUniverse && err == nil {
 			universeN = res.Total
 		}
 		s.Results[st.index] = res
-		if vec != nil {
+		if vec != nil && err == nil {
 			// Normalize to the enumerated universe size: an inexact Count
 			// may have over-allocated (phantom trailing entries) or
 			// undershot past the last delivered index (undelivered faults
@@ -208,15 +347,48 @@ func (p *Plan) runStream() *Session {
 		if s.Vectors != nil {
 			s.Vectors[st.index] = vec
 		}
+		survivors := universeN - cumDetected
+		if universeN < 0 {
+			// Interrupted before the first stage finished enumerating:
+			// the survivor count among the faults seen so far.
+			survivors = res.Total - res.Detected
+		}
 		s.Stages = append(s.Stages, StageStat{
 			Runner:      st.runner.Name(),
 			RunnerIndex: st.index,
 			Entered:     res.Total,
 			Detected:    res.Detected,
-			Survivors:   universeN - cumDetected,
+			Survivors:   survivors,
 			CacheHit:    st.cacheHit,
 			Stats:       stats,
 		})
+		if err != nil {
+			// Interrupted: flush a final checkpoint at the fold frontier
+			// and stop — the remaining stages never ran.
+			if d != nil {
+				d.flush()
+			}
+			break
+		}
+		if d != nil {
+			doneRecs = append(doneRecs, checkpoint.StageRecord{
+				Runner:      st.runner.Name(),
+				RunnerIndex: int32(st.index),
+				Entered:     int64(res.Total),
+				Detected:    int64(res.Detected),
+				Survivors:   int64(survivors),
+				ByClass:     resultTallies(res.ByClass),
+			})
+			d.snap = nil
+			if si < len(order)-1 {
+				// Stage-boundary checkpoint: the next stage at high water 0.
+				next := order[si+1]
+				d.write(buildState(checkpoint.StageRecord{
+					Runner:      next.runner.Name(),
+					RunnerIndex: int32(next.index),
+				}, 0, false))
+			}
+		}
 		if reg != nil {
 			reg.ReportSurvivors(int64(universeN - cumDetected))
 			p.reportStage(reg, s.Stages[len(s.Stages)-1])
@@ -227,11 +399,12 @@ func (p *Plan) runStream() *Session {
 	}
 
 	cumRes := Result{
-		Runner:   p.sessionName(),
-		Universe: p.Stream.Name,
-		Total:    universeN,
-		Detected: cumDetected,
-		ByClass:  make(map[fault.Class]ClassStat),
+		Runner:      p.sessionName(),
+		Universe:    p.Stream.Name,
+		Total:       universeN,
+		Detected:    cumDetected,
+		ByClass:     make(map[fault.Class]ClassStat),
+		Interrupted: s.Interrupted,
 	}
 	for c, total := range classTotal {
 		cumRes.ByClass[c] = ClassStat{Total: total, Detected: classDet[c]}
@@ -239,17 +412,28 @@ func (p *Plan) runStream() *Session {
 	sumCleanRuns(stages, &cumRes)
 	s.Cumulative = cumRes
 
+	if d != nil && !s.Interrupted {
+		// Completion checkpoint: every stage in Done, nothing in flight.
+		// Deliberately timestamp-free, so an uninterrupted run and an
+		// interrupted-then-resumed run of the same campaign end with
+		// byte-identical files.
+		d.write(buildState(checkpoint.StageRecord{}, 0, true))
+	}
+
 	p.notifyObserver(s)
 	return s
 }
 
 // detectStream runs one stage over the source and returns the engine
-// report; verdicts flow to the sink chunk by chunk.
-func (p *Plan) detectStream(st *stage, src fault.Source, chunk, workers int, drop *fault.BitSet, arenas *sim.ArenaPool, sink sim.ChunkSink) *EngineStats {
+// report; verdicts flow to the sink chunk by chunk.  The error is
+// non-nil exactly when ctx was cancelled (a partial run); any other
+// driver failure panics, as a broken engine invariant.
+func (p *Plan) detectStream(ctx context.Context, st *stage, src fault.Source, cfg sim.StreamConfig, sink sim.ChunkSink) (*EngineStats, error) {
 	switch {
 	case st.prog != nil:
-		w, reps, err := sim.ShardsCompiledStream(st.prog, src, chunk, workers, drop, CollapseEnabled(), arenas, sink)
-		if err != nil {
+		cfg.Collapse = CollapseEnabled()
+		w, reps, err := sim.ShardsCompiledStream(ctx, st.prog, src, cfg, sink)
+		if err != nil && ctx.Err() == nil {
 			panic(fmt.Sprintf("coverage: compiled streaming replay of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
 		}
 		return &EngineStats{
@@ -258,17 +442,17 @@ func (p *Plan) detectStream(st *stage, src fault.Source, chunk, workers int, dro
 			Reps:       reps,
 			ProgramOps: st.prog.Ops(),
 			TrimmedOps: st.prog.TrimmedOps(),
-		}
+		}, err
 	case st.tr != nil:
-		w, reps, err := sim.ShardsStream(st.tr, src, chunk, workers, drop, sink)
-		if err != nil {
+		w, reps, err := sim.ShardsStream(ctx, st.tr, src, cfg, sink)
+		if err != nil && ctx.Err() == nil {
 			panic(fmt.Sprintf("coverage: bitpar streaming replay of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
 		}
-		return &EngineStats{Engine: EngineBitParallel, Workers: w, Reps: reps}
+		return &EngineStats{Engine: EngineBitParallel, Workers: w, Reps: reps}, err
 	default:
 		// Chunked oracle: the generic driver pulls and filters chunks,
 		// the replay closure runs the full algorithm once per fault.
-		w, reps, err := sim.StreamShard(src, chunk, workers, drop, func() (func([]fault.Fault) (uint64, error), func()) {
+		w, reps, err := sim.StreamShard(ctx, src, cfg, func() (func([]fault.Fault) (uint64, error), func()) {
 			return func(batch []fault.Fault) (uint64, error) {
 				var mask uint64
 				for i, f := range batch {
@@ -279,9 +463,9 @@ func (p *Plan) detectStream(st *stage, src fault.Source, chunk, workers int, dro
 				return mask, nil
 			}, nil
 		}, sink)
-		if err != nil {
+		if err != nil && ctx.Err() == nil {
 			panic(fmt.Sprintf("coverage: oracle streaming of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
 		}
-		return &EngineStats{Engine: EngineOracle, Workers: w, Reps: reps}
+		return &EngineStats{Engine: EngineOracle, Workers: w, Reps: reps}, err
 	}
 }

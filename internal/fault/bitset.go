@@ -57,6 +57,15 @@ func (b *BitSet) Clone() *BitSet {
 	return &BitSet{words: append([]uint64(nil), b.words...)}
 }
 
+// Words exposes the backing word array (bit i lives at word i/64, bit
+// i%64) — the serialization surface of the checkpoint layer.  The
+// slice aliases the bitmap; callers must not mutate it.
+func (b *BitSet) Words() []uint64 { return b.words }
+
+// BitSetFromWords rebuilds a bitmap around a deserialized word array;
+// the slice is adopted, not copied.
+func BitSetFromWords(words []uint64) *BitSet { return &BitSet{words: words} }
+
 // BitView is a View whose subset is a survivor bitmap over the backing
 // slice: position i of the view is the i-th set bit.  It snapshots the
 // bitmap at construction (later BitSet mutations do not move the

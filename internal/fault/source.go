@@ -22,12 +22,18 @@ import "repro/internal/ram"
 // returns the total number of faults a freshly Reset source yields;
 // exact distinguishes a guaranteed count from an estimate.  Reset
 // rewinds the stream to the beginning, so one source can drive every
-// stage of a multi-test campaign session.  A Source is single-
+// stage of a multi-test campaign session.  Skip advances past the
+// next n faults and returns how many were actually skipped (fewer
+// only when the stream ends first) — semantically identical to
+// discarding n faults via Next, but O(1) for the index-addressable
+// built-in generators, which is what makes checkpoint/resume seeks
+// over multi-billion-fault universes free.  A Source is single-
 // threaded; concurrent drivers serialize Next behind a mutex.
 type Source interface {
 	Next(dst []Fault) (n int, ok bool)
 	Count() (n int, exact bool)
 	Reset()
+	Skip(n int) int
 }
 
 // Stream is a named Source — the streaming analogue of Universe.
@@ -81,6 +87,17 @@ func (g *genSource) Count() (int, bool) { return g.n, true }
 
 func (g *genSource) Reset() { g.pos = 0 }
 
+func (g *genSource) Skip(n int) int {
+	if rem := g.n - g.pos; n > rem {
+		n = rem
+	}
+	if n < 0 {
+		n = 0
+	}
+	g.pos += n
+	return n
+}
+
 // SliceSource adapts an already-materialized fault slice to the
 // Source interface.
 func SliceSource(faults []Fault) Source {
@@ -126,6 +143,19 @@ func (c *concatSource) Reset() {
 		s.Reset()
 	}
 	c.cur = 0
+}
+
+func (c *concatSource) Skip(n int) int {
+	total := 0
+	for total < n && c.cur < len(c.srcs) {
+		k := c.srcs[c.cur].Skip(n - total)
+		total += k
+		if total < n {
+			// The current part ended before satisfying the seek.
+			c.cur++
+		}
+	}
+	return total
 }
 
 // SingleCellSource streams every SAF and TF instance of an n-cell,

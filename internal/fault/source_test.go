@@ -79,6 +79,52 @@ func TestSourcesMatchMaterializedConstructors(t *testing.T) {
 	}
 }
 
+// Skip must be equivalent to discarding n faults via Next — the
+// resume-seek contract — for every source shape, seek point and
+// straddling pattern, including clamping past the end.
+func TestSkipMatchesNextDiscard(t *testing.T) {
+	for _, tc := range sourceCases() {
+		n := len(tc.want)
+		for _, skip := range []int{0, 1, 3, n / 2, n - 1, n, n + 7} {
+			tc.src.Reset()
+			got := tc.src.Skip(skip)
+			want := skip
+			if want > n {
+				want = n
+			}
+			if got != want {
+				t.Errorf("%s: Skip(%d) = %d, want %d", tc.name, skip, got, want)
+				continue
+			}
+			rest := drain(t, tc.src, 5)
+			if len(rest) != n-want {
+				t.Fatalf("%s: %d faults after Skip(%d), want %d", tc.name, len(rest), skip, n-want)
+			}
+			for i, f := range rest {
+				if f != tc.want[want+i] {
+					t.Fatalf("%s: fault %d after Skip(%d) = %v, want %v", tc.name, i, skip, f, tc.want[want+i])
+				}
+			}
+		}
+		// Skip composes: two partial seeks equal one.
+		if len(tc.want) >= 4 {
+			tc.src.Reset()
+			tc.src.Skip(1)
+			tc.src.Skip(2)
+			buf := make([]Fault, 1)
+			if k, _ := tc.src.Next(buf); k != 1 || buf[0] != tc.want[3] {
+				t.Errorf("%s: Skip(1)+Skip(2) landed on %v, want %v", tc.name, buf[0], tc.want[3])
+			}
+		}
+		// A Skip that straddles concatenated parts must cross them (the
+		// concat case lands mid-second-part above); negative n is a no-op.
+		tc.src.Reset()
+		if k := tc.src.Skip(-5); k != 0 {
+			t.Errorf("%s: Skip(-5) = %d, want 0", tc.name, k)
+		}
+	}
+}
+
 func TestFullCouplingSourceExhaustive(t *testing.T) {
 	const n = 5
 	src := FullCouplingSource(n)

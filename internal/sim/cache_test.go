@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fault"
@@ -129,7 +130,8 @@ func TestShardsViewMatchesFullRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	faults := fault.StandardUniverse(n, 1, 8, 17).Faults
-	full, _, err := ShardsCompiled(p, faults, 3)
+	ctx := context.Background()
+	full, _, err := ShardsCompiled(ctx, p, faults, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,9 +139,9 @@ func TestShardsViewMatchesFullRun(t *testing.T) {
 	v := fault.Span(faults).Where(func(i int) bool { return i%3 != 1 })
 	var pool ArenaPool
 	for name, run := range map[string]func() ([]bool, int, error){
-		"bitpar":        func() ([]bool, int, error) { return ShardsView(tr, v, 3) },
-		"compiled":      func() ([]bool, int, error) { return ShardsCompiledView(p, v, 3, nil) },
-		"compiled+pool": func() ([]bool, int, error) { return ShardsCompiledView(p, v, 3, &pool) },
+		"bitpar":        func() ([]bool, int, error) { return ShardsView(ctx, tr, v, 3) },
+		"compiled":      func() ([]bool, int, error) { return ShardsCompiledView(ctx, p, v, 3, nil) },
+		"compiled+pool": func() ([]bool, int, error) { return ShardsCompiledView(ctx, p, v, 3, &pool) },
 	} {
 		got, _, err := run()
 		if err != nil {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,7 +43,15 @@ func Batchable(faults []fault.Fault) bool {
 // uselessly.  The returned worker count is the effective one after
 // clamping to the batch count — what execution reports must cite, not
 // the requested value.
-func shard(v fault.View, workers int, newWorker func() (replay func(batch []fault.Fault) (uint64, error), done func())) ([]bool, int, error) {
+//
+// Cancellation is cooperative at batch granularity: each claim checks
+// ctx (one non-blocking channel receive — free against the nil Done of
+// context.Background, and never inside the replay kernel).  On
+// cancellation every worker drains after its in-flight batch, the
+// partial detected slice is returned as computed so far, and the error
+// is ctx.Err() — callers distinguish interruption from replay failure
+// by errors.Is(err, context.Canceled/DeadlineExceeded).
+func shard(ctx context.Context, v fault.View, workers int, newWorker func() (replay func(batch []fault.Fault) (uint64, error), done func())) ([]bool, int, error) {
 	n := v.Len()
 	batches := (n + BatchSize - 1) / BatchSize
 	if workers <= 0 {
@@ -53,6 +62,7 @@ func shard(v fault.View, workers int, newWorker func() (replay func(batch []faul
 	}
 	detected := make([]bool, n)
 	reg := telemetry.Active()
+	ctxDone := ctx.Done()
 	var cursor atomic.Int64
 	var stop atomic.Bool
 	errs := make([]error, workers)
@@ -81,6 +91,11 @@ func shard(v fault.View, workers int, newWorker func() (replay func(batch []faul
 				b := int(cursor.Add(1)) - 1
 				if b >= batches || stop.Load() {
 					return
+				}
+				select {
+				case <-ctxDone:
+					return
+				default:
 				}
 				lo := b * BatchSize
 				hi := lo + BatchSize
@@ -116,6 +131,9 @@ func shard(v fault.View, workers int, newWorker func() (replay func(batch []faul
 			return nil, workers, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return detected, workers, err
+	}
 	return detected, workers, nil
 }
 
@@ -124,16 +142,16 @@ func shard(v fault.View, workers int, newWorker func() (replay func(batch []faul
 // for every batch.  It is the PR 1 reference path; ShardsCompiled is
 // the allocation-free fast path.  The int result is the effective
 // worker count after clamping to the batch count.
-func Shards(tr *Trace, faults []fault.Fault, workers int) ([]bool, int, error) {
-	return ShardsView(tr, fault.Span(faults), workers)
+func Shards(ctx context.Context, tr *Trace, faults []fault.Fault, workers int) ([]bool, int, error) {
+	return ShardsView(ctx, tr, fault.Span(faults), workers)
 }
 
 // ShardsView is Shards over an index-view of the fault slice:
 // detected[i] reports view fault i, so a session replaying only the
 // survivors of earlier tests passes the narrowed view instead of
 // rebuilding fault slices.
-func ShardsView(tr *Trace, v fault.View, workers int) ([]bool, int, error) {
-	return shard(v, workers, func() (func([]fault.Fault) (uint64, error), func()) {
+func ShardsView(ctx context.Context, tr *Trace, v fault.View, workers int) ([]bool, int, error) {
+	return shard(ctx, v, workers, func() (func([]fault.Fault) (uint64, error), func()) {
 		return func(batch []fault.Fault) (uint64, error) {
 			return ReplayBatch(tr, batch)
 		}, nil
@@ -144,15 +162,15 @@ func ShardsView(tr *Trace, v fault.View, workers int) ([]bool, int, error) {
 // universe.  Each worker owns one reusable Arena, so steady-state
 // batches allocate nothing.  The int result is the effective worker
 // count after clamping to the batch count.
-func ShardsCompiled(p *Program, faults []fault.Fault, workers int) ([]bool, int, error) {
-	return ShardsCompiledView(p, fault.Span(faults), workers, nil)
+func ShardsCompiled(ctx context.Context, p *Program, faults []fault.Fault, workers int) ([]bool, int, error) {
+	return ShardsCompiledView(ctx, p, fault.Span(faults), workers, nil)
 }
 
 // ShardsCompiledView is ShardsCompiled over an index-view of the fault
 // slice, optionally drawing worker arenas from a pool so a session's
 // consecutive programs reuse them (nil builds fresh arenas).
-func ShardsCompiledView(p *Program, v fault.View, workers int, arenas *ArenaPool) ([]bool, int, error) {
-	return shard(v, workers, func() (func([]fault.Fault) (uint64, error), func()) {
+func ShardsCompiledView(ctx context.Context, p *Program, v fault.View, workers int, arenas *ArenaPool) ([]bool, int, error) {
+	return shard(ctx, v, workers, func() (func([]fault.Fault) (uint64, error), func()) {
 		a := arenas.Get(p)
 		return func(batch []fault.Fault) (uint64, error) {
 			return p.Replay(a, batch)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fault"
@@ -277,7 +278,7 @@ func TestShardsCompiledMatchesAcrossWorkerCounts(t *testing.T) {
 	faults := fault.SingleCellUniverse(n, 1) // 128 faults = 2 batches
 	var ref []bool
 	for _, workers := range []int{1, 3, 8} {
-		got, _, err := ShardsCompiled(p, faults, workers)
+		got, _, err := ShardsCompiled(context.Background(), p, faults, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -301,14 +302,14 @@ func TestShardsPropagateBatchErrors(t *testing.T) {
 	tr := recordMarch(t, march.MarchB(), n)
 	faults := fault.SingleCellUniverse(n, 1) // 2 batches
 	faults[BatchSize+3] = alienFault{}       // second batch fails injection
-	if _, _, err := Shards(tr, faults, 2); err == nil {
+	if _, _, err := Shards(context.Background(), tr, faults, 2); err == nil {
 		t.Fatal("Shards must propagate a failing batch")
 	}
 	p, err := Compile(tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ShardsCompiled(p, faults, 2); err == nil {
+	if _, _, err := ShardsCompiled(context.Background(), p, faults, 2); err == nil {
 		t.Fatal("ShardsCompiled must propagate a failing batch")
 	}
 }

@@ -104,8 +104,22 @@
 // batches, and the verdicts delivered to a serialized per-chunk sink
 // keyed by universe index — so order-insensitive sinks (tallies,
 // bitmaps) observe deterministic results whatever the chunk
-// scheduling.  StreamShard exposes the same loop over a caller-
-// supplied replay function (package coverage's chunked oracle).
+// scheduling, and order-sensitive ones (the checkpoint layer's
+// contiguous-cut tracker) can reorder on the delivered [base, base+n)
+// keys.  StreamShard exposes the same loop over a caller-supplied
+// replay function (package coverage's chunked oracle).
+//
+// All drivers take a context.Context and cancel cooperatively at
+// batch/chunk granularity: the check is one non-blocking channel
+// receive per claim (free against context.Background's nil Done
+// channel, never inside the replay kernel), cancelled workers drain
+// after their in-flight batch, streaming drivers abandon the
+// interrupted chunk before its sink delivery (sinks only ever see
+// complete chunks), and the driver returns ctx.Err() alongside the
+// partial results — callers separate interruption from replay failure
+// with errors.Is.  StreamConfig.Base offsets delivered universe
+// indices for checkpoint resume: the source is Skip()ed past the
+// completed prefix and Base set to the skip count.
 //
 // The engine is exact, not approximate: package coverage cross-checks
 // all of it against the per-fault oracle path, and the equivalence

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fault"
@@ -127,7 +128,7 @@ func TestShardsMatchesReplayBatchAcrossWorkerCounts(t *testing.T) {
 	faults := fault.SingleCellUniverse(n, 1) // 128 faults = 2 batches
 	var ref []bool
 	for _, workers := range []int{1, 3, 8} {
-		got, _, err := Shards(tr, faults, workers)
+		got, _, err := Shards(context.Background(), tr, faults, workers)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -19,9 +20,11 @@ import (
 // claimed from the source under a mutex, replayed as 64-machine
 // batches, and the per-chunk verdicts handed to a sink callback that
 // the driver serializes, so sinks need no locking of their own.
-// Chunk completion order is scheduling-dependent, but every verdict is
-// keyed by its universe index, so any order-insensitive sink (tallies,
-// bitmaps) observes deterministic results.
+// Chunk completion order is scheduling-dependent, but every chunk is
+// keyed by its universe index range, so any order-insensitive sink
+// (tallies, bitmaps) observes deterministic results — and an
+// order-sensitive one (the checkpoint layer's contiguous-cut tracker)
+// can reorder on the [base, base+n) keys it is handed.
 
 // DefaultChunk is the fault count pulled per chunk when the caller
 // passes chunk <= 0: large enough to amortize the per-chunk costs
@@ -29,32 +32,74 @@ import (
 // small enough that a worker's resident faults stay ~100s of KB.
 const DefaultChunk = 8192
 
-// ChunkSink receives one chunk's verdicts: faults[i] is universe fault
-// idx[i] and detected[i] its verdict.  The driver serializes sink
+// ChunkSink receives one completed chunk: the chunk claimed universe
+// indices [base, base+n) from the source, and faults[i] (universe
+// fault idx[i]) got verdict detected[i].  Chunks whose faults were all
+// drop-filtered are still delivered (with empty slices), so a sink
+// always observes every claimed index range exactly once — the
+// invariant checkpoint cuts are built on.  The driver serializes sink
 // calls; the slices are reused for the next chunk, so sinks must not
 // retain them.
-type ChunkSink func(idx []int, faults []fault.Fault, detected []bool)
+type ChunkSink func(base, n int, idx []int, faults []fault.Fault, detected []bool)
+
+// StreamConfig parameterizes one streaming shard run.
+type StreamConfig struct {
+	// Chunk is the faults-per-pull (<= 0 selects DefaultChunk).
+	Chunk int
+	// Workers caps the worker goroutines (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Drop skips faults whose universe index is set (nil keeps
+	// everything) — the survivor filter of cross-test fault dropping.
+	Drop *fault.BitSet
+	// Base is the universe index of the source's current position.  A
+	// fresh source streams from 0; a checkpoint resume Skips the source
+	// past the completed prefix and sets Base to the skip count so
+	// delivered indices stay universe-absolute.
+	Base int
+	// Collapse enables chunk-local structural fault collapsing
+	// (ShardsCompiledStream only).
+	Collapse bool
+	// Arenas optionally pools the per-worker arenas
+	// (ShardsCompiledStream only; nil builds fresh ones).
+	Arenas *ArenaPool
+}
+
+func (c StreamConfig) chunkSize() int {
+	if c.Chunk <= 0 {
+		return DefaultChunk
+	}
+	return c.Chunk
+}
+
+func (c StreamConfig) workerCount() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
 
 // StreamShard drives a streaming campaign over a generic replay
-// function: workers pull chunks from src (chunk <= 0 selects
-// DefaultChunk, workers <= 0 GOMAXPROCS), skip faults whose universe
-// index is set in drop (nil keeps everything — the survivor filter of
-// cross-test fault dropping), replay the rest in 64-fault batches
-// through their private replay function, and deliver verdicts to sink.
-// It returns the worker count and how many faults were simulated
-// (after drop filtering; collapsing on the compiled wrapper reduces it
-// further).
-func StreamShard(src fault.Source, chunk, workers int, drop *fault.BitSet,
+// function: workers pull chunks from src, skip faults filtered by
+// cfg.Drop, replay the rest in 64-fault batches through their private
+// replay function, and deliver verdicts to sink.  It returns the
+// worker count and how many faults were simulated (after drop
+// filtering; collapsing on the compiled wrapper reduces it further).
+//
+// Cancellation is cooperative at batch granularity: ctx is checked on
+// every chunk claim and between the chunk's batches, an interrupted
+// chunk is abandoned without reaching the sink (the sink only ever
+// sees complete chunks), workers drain, and the error is ctx.Err().
+func StreamShard(ctx context.Context, src fault.Source, cfg StreamConfig,
 	newWorker func() (replay func(batch []fault.Fault) (uint64, error), done func()),
 	sink ChunkSink) (int, int, error) {
-	return streamShard(src, chunk, workers, drop, nil, newWorker, sink)
+	return streamShard(ctx, src, cfg, nil, newWorker, sink)
 }
 
 // ShardsStream replays a recorded trace over a streaming universe with
 // the per-batch interpreter — the reference streaming path, mirroring
 // Shards.
-func ShardsStream(tr *Trace, src fault.Source, chunk, workers int, drop *fault.BitSet, sink ChunkSink) (int, int, error) {
-	return streamShard(src, chunk, workers, drop, nil, func() (func([]fault.Fault) (uint64, error), func()) {
+func ShardsStream(ctx context.Context, tr *Trace, src fault.Source, cfg StreamConfig, sink ChunkSink) (int, int, error) {
+	return streamShard(ctx, src, cfg, nil, func() (func([]fault.Fault) (uint64, error), func()) {
 		return func(batch []fault.Fault) (uint64, error) {
 			return ReplayBatch(tr, batch)
 		}, nil
@@ -63,18 +108,18 @@ func ShardsStream(tr *Trace, src fault.Source, chunk, workers int, drop *fault.B
 
 // ShardsCompiledStream replays a compiled program over a streaming
 // universe: one arena per worker, reused across every batch of every
-// chunk (optionally drawn from a pool).  When collapse is true each
-// chunk is structurally collapsed before replay and the representative
-// verdicts expanded back chunk-locally, so collapsing never needs the
-// whole universe in memory either.
-func ShardsCompiledStream(p *Program, src fault.Source, chunk, workers int, drop *fault.BitSet,
-	collapse bool, arenas *ArenaPool, sink ChunkSink) (int, int, error) {
+// chunk (optionally drawn from cfg.Arenas).  When cfg.Collapse is true
+// each chunk is structurally collapsed before replay and the
+// representative verdicts expanded back chunk-locally, so collapsing
+// never needs the whole universe in memory either.
+func ShardsCompiledStream(ctx context.Context, p *Program, src fault.Source, cfg StreamConfig, sink ChunkSink) (int, int, error) {
 	var sum *fault.TraceSummary
-	if collapse {
+	if cfg.Collapse {
 		s := p.Summary()
 		sum = &s
 	}
-	return streamShard(src, chunk, workers, drop, sum, func() (func([]fault.Fault) (uint64, error), func()) {
+	arenas := cfg.Arenas
+	return streamShard(ctx, src, cfg, sum, func() (func([]fault.Fault) (uint64, error), func()) {
 		a := arenas.Get(p)
 		return func(batch []fault.Fault) (uint64, error) {
 			return p.Replay(a, batch)
@@ -84,18 +129,16 @@ func ShardsCompiledStream(p *Program, src fault.Source, chunk, workers int, drop
 
 // streamShard is the shared driver; sum non-nil enables per-chunk
 // structural collapsing.
-func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *fault.TraceSummary,
+func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *fault.TraceSummary,
 	newWorker func() (func([]fault.Fault) (uint64, error), func()),
 	sink ChunkSink) (int, int, error) {
-	if chunk <= 0 {
-		chunk = DefaultChunk
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	chunk := cfg.chunkSize()
+	workers := cfg.workerCount()
+	drop := cfg.Drop
+	ctxDone := ctx.Done()
 	var (
 		srcMu     sync.Mutex
-		base      int
+		base      = cfg.Base
 		exhausted bool
 		sinkMu    sync.Mutex
 		stop      atomic.Bool
@@ -142,6 +185,15 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 				tw = reg.Worker(w)
 			}
 			for !stop.Load() {
+				// Cooperative cancellation, checked once per chunk claim: an
+				// in-flight chunk is abandoned before its sink delivery, so
+				// the universe prefix the sink has seen stays consistent.
+				select {
+				case <-ctxDone:
+					reg.Flush(tw, &tl)
+					return
+				default:
+				}
 				var t0 time.Time
 				if tw != nil {
 					t0 = time.Now()
@@ -170,15 +222,12 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 						ids = append(ids, b+i)
 					}
 				}
-				if len(faults) == 0 {
-					continue
-				}
 				// Per-chunk collapsing: equivalence classes are computed
 				// among the chunk's survivors only and expanded back before
 				// the chunk leaves the worker — nothing outlives the chunk.
 				r := faults
 				var col fault.Collapsed
-				if sum != nil {
+				if sum != nil && len(faults) > 0 {
 					col = fault.Collapse(faults, sum)
 					r = col.Reps
 				}
@@ -189,6 +238,15 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 					t0 = time.Now()
 				}
 				for lo := 0; lo < len(r); lo += BatchSize {
+					select {
+					case <-ctxDone:
+						// Abandon the chunk mid-replay: none of its verdicts
+						// reach the sink, so cancellation costs at most one
+						// batch of latency and never a torn chunk.
+						reg.Flush(tw, &tl)
+						return
+					default:
+					}
 					hi := lo + BatchSize
 					if hi > len(r) {
 						hi = len(r)
@@ -214,7 +272,7 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 					return
 				}
 				d := det[:len(faults)]
-				if sum != nil {
+				if sum != nil && len(faults) > 0 {
 					col.ExpandInto(d, rd)
 				} else {
 					copy(d, rd)
@@ -227,7 +285,7 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 					tl.SinkWaitNanos += uint64(time.Since(t0))
 					t0 = time.Now()
 				}
-				sink(ids, faults, d)
+				sink(b, n, ids, faults, d)
 				sinkMu.Unlock()
 				if tw != nil {
 					tl.SinkNanos += uint64(time.Since(t0))
@@ -244,6 +302,9 @@ func streamShard(src fault.Source, chunk, workers int, drop *fault.BitSet, sum *
 		if err != nil {
 			return workers, int(reps.Load()), err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return workers, int(reps.Load()), err
 	}
 	return workers, int(reps.Load()), nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -18,7 +19,7 @@ type collectSink struct {
 
 func newCollectSink() *collectSink { return &collectSink{det: make(map[int]bool)} }
 
-func (c *collectSink) sink(idx []int, faults []fault.Fault, det []bool) {
+func (c *collectSink) sink(_, _ int, idx []int, faults []fault.Fault, det []bool) {
 	for i := range idx {
 		if _, dup := c.det[idx[i]]; dup {
 			panic("universe index delivered twice")
@@ -45,14 +46,16 @@ func TestStreamDriversMatchShardDrivers(t *testing.T) {
 		t.Fatal(err)
 	}
 	faults := fault.StandardUniverse(n, 1, 6, 9).Faults
-	wantDet, _, err := ShardsCompiled(p, faults, 3)
+	ctx := context.Background()
+	wantDet, _, err := ShardsCompiled(ctx, p, faults, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, chunk := range []int{1, 7, 100, 4096} {
 		for _, collapse := range []bool{false, true} {
 			cs := newCollectSink()
-			_, reps, err := ShardsCompiledStream(p, fault.SliceSource(faults), chunk, 3, nil, collapse, nil, cs.sink)
+			_, reps, err := ShardsCompiledStream(ctx, p, fault.SliceSource(faults),
+				StreamConfig{Chunk: chunk, Workers: 3, Collapse: collapse}, cs.sink)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -74,7 +77,8 @@ func TestStreamDriversMatchShardDrivers(t *testing.T) {
 		}
 		// The interpreter path agrees too.
 		cs := newCollectSink()
-		if _, _, err := ShardsStream(tr, fault.SliceSource(faults), chunk, 3, nil, cs.sink); err != nil {
+		if _, _, err := ShardsStream(ctx, tr, fault.SliceSource(faults),
+			StreamConfig{Chunk: chunk, Workers: 3}, cs.sink); err != nil {
 			t.Fatal(err)
 		}
 		for i := range faults {
@@ -100,7 +104,8 @@ func TestStreamDropFilter(t *testing.T) {
 		}
 	}
 	cs := newCollectSink()
-	if _, _, err := ShardsCompiledStream(p, fault.SliceSource(faults), 5, 2, drop, true, nil, cs.sink); err != nil {
+	if _, _, err := ShardsCompiledStream(context.Background(), p, fault.SliceSource(faults),
+		StreamConfig{Chunk: 5, Workers: 2, Drop: drop, Collapse: true}, cs.sink); err != nil {
 		t.Fatal(err)
 	}
 	want := 0
@@ -118,7 +123,7 @@ func TestStreamDropFilter(t *testing.T) {
 		}
 	}
 	// Verdicts of the survivors equal the full replay's.
-	full, _, err := ShardsCompiled(p, faults, 2)
+	full, _, err := ShardsCompiled(context.Background(), p, faults, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,18 +147,21 @@ func TestStreamErrorStops(t *testing.T) {
 	}
 	faults := fault.SingleCellUniverse(n, 1)
 	faults[37] = failInjector{faults[37]} // strips the BatchInjector capability
+	ctx := context.Background()
+	cfg := StreamConfig{Chunk: 8, Workers: 2}
 	cs := newCollectSink()
-	_, _, err = ShardsCompiledStream(p, fault.SliceSource(faults), 8, 2, nil, false, nil, cs.sink)
+	_, _, err = ShardsCompiledStream(ctx, p, fault.SliceSource(faults), cfg, cs.sink)
 	if err == nil {
 		t.Fatal("driver swallowed a batch-injection error")
 	}
-	var discard ChunkSink = func([]int, []fault.Fault, []bool) {}
-	if _, _, err := ShardsStream(tr, fault.SliceSource(faults), 8, 2, nil, discard); err == nil {
+	var discard ChunkSink = func(int, int, []int, []fault.Fault, []bool) {}
+	if _, _, err := ShardsStream(ctx, tr, fault.SliceSource(faults), cfg, discard); err == nil {
 		t.Fatal("interpreter driver swallowed a batch-injection error")
 	}
 	// A trace with no detection points is rejected like the
 	// materialized drivers reject it.
-	if _, _, err := ShardsStream(&Trace{Size: n, Width: 1}, fault.SliceSource(faults[:1]), 8, 1, nil, discard); err == nil {
+	if _, _, err := ShardsStream(ctx, &Trace{Size: n, Width: 1}, fault.SliceSource(faults[:1]),
+		StreamConfig{Chunk: 8, Workers: 1}, discard); err == nil {
 		t.Fatal("unreplayable trace accepted")
 	}
 }

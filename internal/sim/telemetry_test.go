@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -35,7 +36,8 @@ func TestStreamTelemetryCounters(t *testing.T) {
 
 	reg.BeginStage("march", int64(len(faults)))
 	cs := newCollectSink()
-	if _, _, err := ShardsCompiledStream(p, fault.SliceSource(faults), 7, 1, nil, false, nil, cs.sink); err != nil {
+	if _, _, err := ShardsCompiledStream(context.Background(), p, fault.SliceSource(faults),
+		StreamConfig{Chunk: 7, Workers: 1}, cs.sink); err != nil {
 		t.Fatal(err)
 	}
 
@@ -121,8 +123,9 @@ func TestStreamTelemetryRace(t *testing.T) {
 		runsWG.Add(1)
 		go func(i int) {
 			defer runsWG.Done()
-			_, _, errs[i] = ShardsCompiledStream(p, fault.SliceSource(faults), 5, 3, nil, true, nil,
-				func([]int, []fault.Fault, []bool) {})
+			_, _, errs[i] = ShardsCompiledStream(context.Background(), p, fault.SliceSource(faults),
+				StreamConfig{Chunk: 5, Workers: 3, Collapse: true},
+				func(int, int, []int, []fault.Fault, []bool) {})
 		}(i)
 	}
 	runsWG.Wait()

@@ -30,6 +30,8 @@ const (
 	gArenaFresh // arena-pool checkouts that built a new arena
 	gCollapseIn // faults entering structural collapsing
 	gCollapseOut
+	gCheckpointWrites // durable checkpoint files written
+	gCheckpointNanos  // nanoseconds spent encoding + fsyncing them
 	numGlobals
 )
 
@@ -176,6 +178,18 @@ func (r *Registry) CollapseDelta(in, out int) {
 	r.globals[gCollapseOut].Add(uint64(out))
 }
 
+// CheckpointWrite records one durable checkpoint write and the time it
+// took (encode + fsync + rename) — the cost side of the durability
+// cadence, surfaced so a campaign can see when -checkpoint-every is
+// set low enough to matter.
+func (r *Registry) CheckpointWrite(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.globals[gCheckpointWrites].Add(1)
+	r.globals[gCheckpointNanos].Add(uint64(d))
+}
+
 // ObserveIndex raises the active stage's universe-index high-water
 // mark — the resume point of an index-addressable streaming source.
 func (r *Registry) ObserveIndex(idx int64) {
@@ -217,6 +231,8 @@ type Snapshot struct {
 	CacheHits, CacheMisses  uint64
 	ArenaReuse, ArenaFresh  uint64
 	CollapseIn, CollapseOut uint64
+	CheckpointWrites        uint64
+	CheckpointTime          time.Duration
 }
 
 // Snapshot aggregates the registry's counters.
@@ -256,6 +272,8 @@ func (r *Registry) Snapshot() Snapshot {
 	s.ArenaFresh = r.globals[gArenaFresh].Load()
 	s.CollapseIn = r.globals[gCollapseIn].Load()
 	s.CollapseOut = r.globals[gCollapseOut].Load()
+	s.CheckpointWrites = r.globals[gCheckpointWrites].Load()
+	s.CheckpointTime = time.Duration(r.globals[gCheckpointNanos].Load())
 	return s
 }
 
@@ -277,6 +295,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ArenaFresh:  s.ArenaFresh - prev.ArenaFresh,
 		CollapseIn:  s.CollapseIn - prev.CollapseIn,
 		CollapseOut: s.CollapseOut - prev.CollapseOut,
+
+		CheckpointWrites: s.CheckpointWrites - prev.CheckpointWrites,
+		CheckpointTime:   s.CheckpointTime - prev.CheckpointTime,
 	}
 	d.Workers = make([]WorkerSnapshot, len(s.Workers))
 	for i, w := range s.Workers {
@@ -324,6 +345,8 @@ func (s Snapshot) Metrics() map[string]float64 {
 		"arena_fresh":          float64(s.ArenaFresh),
 		"collapse_in":          float64(s.CollapseIn),
 		"collapse_out":         float64(s.CollapseOut),
+		"checkpoint_writes":    float64(s.CheckpointWrites),
+		"checkpoint_seconds":   s.CheckpointTime.Seconds(),
 		"workers":              float64(len(s.Workers)),
 	}
 	return m
