@@ -1,0 +1,38 @@
+// Command faultvet is the repo's custom vet tool: a go/analysis
+// multichecker bundling the analyzers that enforce the load-bearing
+// invariants of the replay pipeline at compile time —
+//
+//	hotpathalloc   no alloc-inducing constructs in //faultsim:hotpath code
+//	deterministic  no map/select/clock/global-rand nondeterminism in
+//	               //faultsim:deterministic code
+//	ctxflow        context.Context flows caller-to-callee, first
+//	               parameter, never stored
+//	syncerr        fsync/close/rename errors checked in
+//	               //faultsim:durable code
+//
+// It speaks the unitchecker protocol, so it runs under the go command:
+//
+//	go build -o faultvet ./cmd/faultvet
+//	go vet -vettool=$PWD/faultvet ./...
+//
+// See internal/analysis/doc.go for the invariant catalogue and the
+// marker-comment conventions.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/deterministic"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/syncerr"
+)
+
+func main() {
+	unitchecker.Main(
+		hotpathalloc.Analyzer,
+		deterministic.Analyzer,
+		ctxflow.Analyzer,
+		syncerr.Analyzer,
+	)
+}

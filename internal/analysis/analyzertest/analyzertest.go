@@ -1,0 +1,218 @@
+// Package analyzertest is a minimal offline stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture
+// package from a testdata directory with go/parser, type-checks it
+// against the standard library via the source importer (no network, no
+// export data), runs an analyzer, and compares the diagnostics against
+// analysistest-style "// want" expectations.
+//
+// Only the subset the repo's analyzers need is implemented: no facts,
+// no suggested-fix application, no multi-package fixtures.  Expectation
+// syntax matches analysistest: a comment
+//
+//	// want "regexp" "another regexp"
+//
+// on a line requires each regexp to match one diagnostic reported on
+// that line, and every diagnostic must be claimed by an expectation.
+package analyzertest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture package at dir/src/<pkgpath>, applies the
+// analyzer, and reports any mismatch between diagnostics and the
+// fixture's "// want" comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	RunAll(t, dir, pkgpath, a)
+}
+
+// RunAll applies several analyzers to one fixture package and checks
+// their combined diagnostics against the fixture's want comments —
+// for fixtures that seed one violation per analyzer of a suite.
+func RunAll(t *testing.T, dir, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	for _, a := range analyzers {
+		if len(a.Requires) > 0 {
+			t.Fatalf("analyzertest: analyzer %s has Requires; this harness does not run dependencies", a.Name)
+		}
+	}
+	pkgdir := filepath.Join(dir, "src", pkgpath)
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("analyzertest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analyzertest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analyzertest: no Go files in %s", pkgdir)
+	}
+
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		FileVersions: make(map[*ast.File]string),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(pkgpath, fset, files, info)
+	if len(typeErrs) > 0 {
+		for _, err := range typeErrs {
+			t.Errorf("analyzertest: type error: %v", err)
+		}
+		t.FailNow()
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   map[*analysis.Analyzer]any{},
+			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzertest: analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	checkExpectations(t, fset, files, diags)
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations cross-checks diagnostics against want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation) // filename -> line -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, re := range parseWants(t, pos, text[i+len("// want "):]) {
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = make(map[int][]*expectation)
+					}
+					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		claimed := false
+		for _, exp := range wants[pos.Filename][pos.Line] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	type miss struct {
+		file string
+		line int
+		re   string
+	}
+	var misses []miss
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, exp := range exps {
+				if !exp.matched {
+					misses = append(misses, miss{file, line, exp.re.String()})
+				}
+			}
+		}
+	}
+	sort.Slice(misses, func(i, j int) bool {
+		if misses[i].file != misses[j].file {
+			return misses[i].file < misses[j].file
+		}
+		return misses[i].line < misses[j].line
+	})
+	for _, m := range misses {
+		t.Errorf("%s:%d: expected diagnostic matching %q, got none", m.file, m.line, m.re)
+	}
+}
+
+// parseWants extracts the quoted regexps of one want comment.
+func parseWants(t *testing.T, pos token.Position, s string) []*regexp.Regexp {
+	t.Helper()
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" || !strings.HasPrefix(s, "\"") && !strings.HasPrefix(s, "`") {
+			break
+		}
+		quote := s[0]
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+		}
+		lit := s[:end+1]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %s: %v", pos, unq, err)
+		}
+		out = append(out, re)
+		s = s[end+1:]
+	}
+	return out
+}

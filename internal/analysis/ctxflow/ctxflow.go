@@ -1,0 +1,209 @@
+// Package ctxflow defines an analyzer enforcing the repo's
+// context.Context discipline: cancellation is cooperative and flows
+// caller-to-callee through every shard driver and session executor, so
+// a context must be a first parameter, must not hide in struct fields
+// or package variables (except the audited ambient-default hooks), and
+// must never be silently replaced by a fresh context.Background().
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/faultsim"
+)
+
+const doc = `enforce context.Context flow discipline
+
+Reported everywhere (no scope marker needed):
+  - a context.Context parameter that is not the first parameter;
+  - a struct field or package-level variable whose type mentions
+    context.Context (storing a context detaches it from the caller's
+    cancellation), unless waived with "//faultsim:ambient <why>" —
+    reserved for the audited ambient-default hooks;
+  - context.Background()/context.TODO() outside package main and
+    _test.go files (library code must receive its context), unless
+    waived with "//faultsim:ambient <why>";
+  - context.Background()/context.TODO() inside any function that
+    already has a context parameter, anywhere including main and
+    tests: the caller's context must flow, not a fresh one.`
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := faultsim.Collect(pass)
+	for _, f := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkGenDecl(pass, info, d)
+			case *ast.FuncDecl:
+				checkSignature(pass, d.Type)
+				if d.Body != nil {
+					checkBody(pass, info, d, isTest)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// mentionsCtx reports whether the type expression syntactically
+// references context.Context anywhere — catching both plain fields and
+// wrappers like atomic.Pointer[context.Context].
+func mentionsCtx(pass *analysis.Pass, e ast.Expr) (token.Pos, bool) {
+	var at token.Pos
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "context" {
+			at, found = sel.Pos(), true
+			return false
+		}
+		return true
+	})
+	return at, found
+}
+
+// checkGenDecl flags struct fields and package-level variables whose
+// type mentions context.Context.
+func checkGenDecl(pass *analysis.Pass, info *faultsim.Info, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			st, ok := s.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				if pos, ok := mentionsCtx(pass, field.Type); ok {
+					info.Report(pass, pos, faultsim.Ambient,
+						"ctxflow: struct field stores a context.Context; contexts must flow through call parameters")
+				}
+			}
+		case *ast.ValueSpec:
+			if d.Tok != token.VAR {
+				continue
+			}
+			if s.Type != nil {
+				if pos, ok := mentionsCtx(pass, s.Type); ok {
+					info.Report(pass, pos, faultsim.Ambient,
+						"ctxflow: package variable stores a context.Context; contexts must flow through call parameters")
+					continue
+				}
+			}
+		}
+	}
+}
+
+// checkSignature flags a context.Context parameter that is not first.
+func checkSignature(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	flat := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t != nil && isCtxType(t) && flat > 0 {
+			pass.Reportf(field.Type.Pos(), "ctxflow: context.Context must be the first parameter")
+		}
+		flat += n
+	}
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t != nil && isCtxType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody walks one declared function, tracking nested function
+// literals: Background/TODO calls are resolved against the innermost
+// function's signature, and literals are also checked for misplaced
+// context parameters.
+func checkBody(pass *analysis.Pass, info *faultsim.Info, d *ast.FuncDecl, isTest bool) {
+	isMain := pass.Pkg.Name() == "main"
+	// ctxStack[len-1] tells whether the innermost enclosing function
+	// has a context parameter.
+	ctxStack := []bool{hasCtxParam(pass, d.Type)}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkSignature(pass, n.Type)
+			ctxStack = append(ctxStack, hasCtxParam(pass, n.Type))
+			ast.Inspect(n.Body, walk)
+			ctxStack = ctxStack[:len(ctxStack)-1]
+			return false
+		case *ast.CallExpr:
+			fn := callee(pass, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				inCtxFunc := ctxStack[len(ctxStack)-1]
+				if inCtxFunc {
+					info.Report(pass, n.Pos(), faultsim.Ambient,
+						"ctxflow: context.%s inside a function with a context parameter; pass the caller's context", name)
+				} else if !isMain && !isTest {
+					info.Report(pass, n.Pos(), faultsim.Ambient,
+						"ctxflow: context.%s outside main/tests; accept a context from the caller", name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(d.Body, walk)
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

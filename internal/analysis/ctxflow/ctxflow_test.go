@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxflow.Analyzer, "a")
+}

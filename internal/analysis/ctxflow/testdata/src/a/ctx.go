@@ -1,0 +1,63 @@
+package a
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// good: context first, flows to the callee.
+func good(ctx context.Context, n int) error {
+	return callee(ctx, n)
+}
+
+func callee(ctx context.Context, n int) error { return ctx.Err() }
+
+// misplaced: context is not the first parameter.
+func misplaced(n int, ctx context.Context) error { // want `ctxflow: context.Context must be the first parameter`
+	return ctx.Err()
+}
+
+// stored: contexts must not hide in struct fields.
+type stored struct {
+	ctx context.Context // want `ctxflow: struct field stores a context.Context; contexts must flow through call parameters`
+	n   int
+}
+
+// wrapped: generic wrappers do not launder the storage.
+type wrapped struct {
+	ctx atomic.Pointer[context.Context] // want `ctxflow: struct field stores a context.Context; contexts must flow through call parameters`
+}
+
+// ambientHook is the audited exception: a waiver with a justification.
+type ambientHook struct {
+	ctx context.Context //faultsim:ambient audited ambient-default hook; cleared by SetDefaultContext(nil)
+}
+
+var pkgCtx context.Context // want `ctxflow: package variable stores a context.Context; contexts must flow through call parameters`
+
+//faultsim:ambient audited process-wide default installed once by the CLI
+var ambientCtx atomic.Pointer[context.Context]
+
+// fresh: library code must receive its context.
+func fresh(n int) error {
+	ctx := context.Background() // want `ctxflow: context.Background outside main/tests; accept a context from the caller`
+	return callee(ctx, n)
+}
+
+// dropped: a fresh context inside a ctx-taking function breaks the
+// cancellation chain even where Background is otherwise allowed.
+func dropped(ctx context.Context, n int) error {
+	return callee(context.TODO(), n) // want `ctxflow: context.TODO inside a function with a context parameter; pass the caller's context`
+}
+
+// literalScope: function literals are resolved against their own
+// signature, not the enclosing function's.
+func literalScope(ctx context.Context) func() error {
+	return func() error { // no ctx param here, but package is not main: still flagged
+		c := context.Background() // want `ctxflow: context.Background outside main/tests; accept a context from the caller`
+		return callee(c, 0)
+	}
+}
+
+var _ = pkgCtx
+var _ = ambientCtx

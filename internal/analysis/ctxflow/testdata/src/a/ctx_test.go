@@ -1,0 +1,13 @@
+package a
+
+import "context"
+
+// In a test file Background is allowed — tests own their lifetimes.
+func helperForTests(n int) error {
+	return callee(context.Background(), n)
+}
+
+// ...unless the function takes a context; then the caller's must flow.
+func testCtxDropped(ctx context.Context, n int) error {
+	return callee(context.Background(), n) // want `ctxflow: context.Background inside a function with a context parameter; pass the caller's context`
+}

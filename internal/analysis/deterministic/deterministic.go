@@ -1,0 +1,122 @@
+// Package deterministic defines an analyzer that flags sources of
+// nondeterminism in code marked //faultsim:deterministic — trace
+// compilation, structural collapsing, checkpoint encoding, sink
+// folding and report emission, whose byte-identical-output contracts
+// (streaming ≡ materialized ≡ resumed) are otherwise guarded only by
+// runtime property tests.
+package deterministic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/faultsim"
+)
+
+const doc = `flag nondeterminism in //faultsim:deterministic functions
+
+In a function marked //faultsim:deterministic (or any function of a
+file whose header carries the marker), the following are reported:
+range over a map (iteration order is randomized), calls to time.Now /
+time.Since / time.Until (wall-clock values leaking into results), the
+process-seeded global math/rand and math/rand/v2 top-level functions
+(explicitly seeded *rand.Rand instances are fine), and select
+statements with two or more communication cases (the runtime picks a
+ready case uniformly at random).  A select with one communication case
+plus default — the non-blocking cancellation poll — is allowed.  Waive
+an individual finding with a justification:
+"//faultsim:ordered \"<why this is deterministic anyway>\"".`
+
+// Analyzer is the deterministic analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "deterministic",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := faultsim.Collect(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !info.FuncMarked(f, fn, faultsim.Deterministic) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				check(pass, info, n)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, info *faultsim.Info, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		t := pass.TypesInfo.TypeOf(n.X)
+		if t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				info.Report(pass, n.Pos(), faultsim.Ordered,
+					"deterministic: map iteration order is randomized")
+			}
+		}
+	case *ast.SelectStmt:
+		comm := 0
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				comm++
+			}
+		}
+		if comm >= 2 {
+			info.Report(pass, n.Pos(), faultsim.Ordered,
+				"deterministic: select with %d communication cases resolves randomly when several are ready", comm)
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(pass, n)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		// Package-level functions only: methods on explicitly seeded
+		// *rand.Rand values (and time.Time values) are deterministic.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				info.Report(pass, n.Pos(), faultsim.Ordered,
+					"deterministic: time.%s feeds wall-clock state into a deterministic path", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			// Constructors (rand.New, rand.NewSource, rand.NewPCG, ...)
+			// build explicitly seeded generators and are the fix, not the
+			// problem; everything else draws from the process-seeded
+			// global source.
+			if strings.HasPrefix(fn.Name(), "New") {
+				return
+			}
+			info.Report(pass, n.Pos(), faultsim.Ordered,
+				"deterministic: global %s.%s is process-seeded; use an explicitly seeded rand.New(rand.NewSource(seed))", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

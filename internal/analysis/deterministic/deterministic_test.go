@@ -1,0 +1,12 @@
+package deterministic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/deterministic"
+)
+
+func TestDeterministic(t *testing.T) {
+	analyzertest.Run(t, "testdata", deterministic.Analyzer, "a")
+}

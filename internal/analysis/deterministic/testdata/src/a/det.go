@@ -1,0 +1,73 @@
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var Sink any
+
+// marked exhibits each nondeterminism source once.
+//
+//faultsim:deterministic
+func marked(m map[int]int, a, b chan int) int {
+	total := 0
+	for k, v := range m { // want `deterministic: map iteration order is randomized`
+		total += k + v
+	}
+	t0 := time.Now()             // want `deterministic: time.Now feeds wall-clock state into a deterministic path`
+	total += int(time.Since(t0)) // want `deterministic: time.Since feeds wall-clock state into a deterministic path`
+	total += rand.Intn(10)       // want `deterministic: global rand.Intn is process-seeded; use an explicitly seeded rand.New\(rand.NewSource\(seed\)\)`
+	select {                     // want `deterministic: select with 2 communication cases resolves randomly when several are ready`
+	case v := <-a:
+		total += v
+	case v := <-b:
+		total += v
+	}
+	return total
+}
+
+// seededOK: methods on an explicitly seeded generator are fine, and a
+// single-channel select with default (the cancellation poll) is the
+// allowed non-blocking form.
+//
+//faultsim:deterministic
+func seededOK(seed int64, done chan struct{}) int {
+	rng := rand.New(rand.NewSource(seed))
+	total := rng.Intn(10)
+	select {
+	case <-done:
+		return -1
+	default:
+	}
+	return total
+}
+
+// orderedOK shows the waiver: ranging a map is fine when the result is
+// order-insensitive or sorted afterwards — but only with a
+// justification string.
+//
+//faultsim:deterministic
+func orderedOK(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//faultsim:ordered "keys are sorted below before emission"
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	//faultsim:ordered
+	for k := range m { // want `deterministic: map iteration order is randomized \(//faultsim:ordered requires a justification string\)`
+		out = append(out, k)
+	}
+	return out[:len(m)]
+}
+
+// unmarked is out of scope: no findings.
+func unmarked(m map[int]int) int {
+	total := rand.Intn(10)
+	for k := range m {
+		total += k
+	}
+	return total + int(time.Now().Unix())
+}

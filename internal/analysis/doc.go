@@ -1,0 +1,75 @@
+// Package analysis groups the repo's own go/analysis suite: four
+// analyzers that turn the documented engine invariants into vet-time
+// build failures.  cmd/faultvet bundles them into a unitchecker binary
+// that CI (and any developer) runs as
+//
+//	go build -o faultvet ./cmd/faultvet
+//	go vet -vettool=$PWD/faultvet ./...
+//
+// # Invariants and their analyzers
+//
+// The engine's performance and reproducibility guarantees are worthless
+// if they only hold until the next refactor.  Each analyzer enforces
+// one of them:
+//
+//   - hotpathalloc — code marked //faultsim:hotpath is the compiled
+//     replay path, where steady-state batches must allocate nothing
+//     (the AllocsPerRun benches enforce this at runtime; the analyzer
+//     enforces it at vet time, and on the paths benches don't reach).
+//     It flags make/new/append, closures, defers, go statements,
+//     composite literals, fmt calls, string conversions, map access,
+//     and non-pointer-to-interface boxing.  A justified exception reads
+//     //faultsim:alloc-ok <why> on or above the line.
+//
+//   - deterministic — code marked //faultsim:deterministic feeds the
+//     byte-diffed experiment tables: identical inputs must produce
+//     identical bytes regardless of worker count, map seed, or clock.
+//     It flags map iteration, multi-way selects, time.Now/Since/Until,
+//     and the process-seeded global math/rand state (explicitly seeded
+//     rand.New(rand.NewSource(seed)) constructions pass).  A justified
+//     exception reads //faultsim:ordered <why> — typically "sorted
+//     below" or "telemetry only".
+//
+//   - ctxflow — cancellation plumbing, enforced everywhere with no
+//     marker: a context parameter comes first; contexts are not stored
+//     in structs or package variables (the audited ambient-default
+//     hooks carry //faultsim:ambient <why>); context.Background/TODO
+//     stay confined to main packages and tests, and never appear in a
+//     function that was already handed a context.
+//
+//   - syncerr — code marked //faultsim:durable is the checkpoint write
+//     path, whose whole point is surviving a crash: discarding the
+//     error of (*os.File).Sync, (*os.File).Close, or os.Rename there
+//     silently converts "durable" into "probably durable".  There is
+//     deliberately no waiver comment — a checked error is always
+//     expressible.
+//
+// # Markers
+//
+// Scopes are declared where the code lives, not in a config file:
+//
+//	//faultsim:hotpath        (file scope: in or before the package
+//	//faultsim:deterministic   doc comment; func scope: in the doc
+//	//faultsim:durable         comment of one declaration)
+//
+// Suppressions go on the flagged line or the line above and must carry
+// a non-empty justification; a bare //faultsim:alloc-ok or
+// //faultsim:ordered is itself reported.
+//
+// # Testing
+//
+// Each analyzer has analysistest-style fixtures under its testdata/
+// directory, run by the offline harness in analyzertest (go/parser +
+// go/types with the source importer — no network, no export data).
+// The selftest package seeds one violation per analyzer and fails if
+// any goes unreported; CI additionally copies that fixture into a
+// scratch module and requires the faultvet binary to reject it.
+//
+// # Adding an analyzer
+//
+// Create internal/analysis/<name> exporting an *analysis.Analyzer with
+// no Requires (the analyzertest harness and unitchecker facts are not
+// needed for syntax+types checks), use faultsim.Collect for marker or
+// suppression handling, add fixtures plus a seeded violation, and
+// register it in cmd/faultvet and the selftest.
+package analysis

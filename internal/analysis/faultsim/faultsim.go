@@ -1,0 +1,191 @@
+// Package faultsim implements the marker-comment conventions shared by
+// the repo's custom go/analysis analyzers (cmd/faultvet).
+//
+// Invariant scopes are declared with marker comments:
+//
+//	//faultsim:hotpath        zero-allocation replay path (hotpathalloc)
+//	//faultsim:deterministic  output must not depend on map/select/clock
+//	                          nondeterminism (deterministic)
+//	//faultsim:durable        checkpoint/durable write path: fsync/close/
+//	                          rename errors must be checked (syncerr)
+//
+// A marker in a function declaration's doc comment scopes that one
+// function (including any function literals nested in its body); a
+// marker in the file header — any comment group that ends before the
+// file's first declaration — scopes every function in the file.
+//
+// Individual findings are waived with suppression comments placed on
+// the offending line or on the line immediately above it, each
+// requiring a non-empty justification string:
+//
+//	//faultsim:alloc-ok <why this allocation is acceptable>
+//	//faultsim:ordered "<why this order/clock use is deterministic>"
+//	//faultsim:ambient <why this context storage is audited>
+//
+// A suppression with no justification does not suppress: the analyzer
+// reports the original finding plus the missing justification, so a
+// bare waiver can never silence a diagnostic.
+package faultsim
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Marker and suppression names (the text after "//faultsim:").
+const (
+	Hotpath       = "hotpath"
+	Deterministic = "deterministic"
+	Durable       = "durable"
+
+	AllocOK = "alloc-ok"
+	Ordered = "ordered"
+	Ambient = "ambient"
+)
+
+const prefix = "//faultsim:"
+
+// Suppression is one parsed waiver comment.
+type Suppression struct {
+	Name   string // alloc-ok, ordered, ambient
+	Reason string // justification text, quotes stripped; may be empty
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Info is the per-pass marker index: which files and functions carry
+// which scope markers, and where suppression comments sit.
+type Info struct {
+	fset      *token.FileSet
+	fileMarks map[*ast.File]map[string]bool
+	supp      map[lineKey][]Suppression
+}
+
+// Collect scans every file of the pass for faultsim markers and
+// suppressions.  Analyzers call it once at the top of their run
+// function.
+func Collect(pass *analysis.Pass) *Info {
+	in := &Info{
+		fset:      pass.Fset,
+		fileMarks: make(map[*ast.File]map[string]bool),
+		supp:      make(map[lineKey][]Suppression),
+	}
+	for _, f := range pass.Files {
+		firstDecl := token.Pos(-1)
+		if len(f.Decls) > 0 {
+			firstDecl = f.Decls[0].Pos()
+		}
+		for _, cg := range f.Comments {
+			fileScope := firstDecl == token.Pos(-1) || cg.End() < firstDecl
+			for _, c := range cg.List {
+				name, arg, ok := parse(c.Text)
+				if !ok {
+					continue
+				}
+				switch name {
+				case Hotpath, Deterministic, Durable:
+					if fileScope {
+						in.markFile(f, name)
+					}
+				case AllocOK, Ordered, Ambient:
+					pos := pass.Fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					in.supp[k] = append(in.supp[k], Suppression{Name: name, Reason: arg})
+				}
+			}
+		}
+	}
+	return in
+}
+
+func (in *Info) markFile(f *ast.File, name string) {
+	m := in.fileMarks[f]
+	if m == nil {
+		m = make(map[string]bool)
+		in.fileMarks[f] = m
+	}
+	m[name] = true
+}
+
+// parse splits a "//faultsim:name justification" comment.  Only line
+// comments participate; anything not starting with the prefix is not a
+// marker.
+func parse(text string) (name, arg string, ok bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	name, arg, _ = strings.Cut(rest, " ")
+	arg = strings.TrimSpace(arg)
+	// A quoted justification is accepted with or without the quotes.
+	if len(arg) >= 2 && arg[0] == '"' && arg[len(arg)-1] == '"' {
+		arg = arg[1 : len(arg)-1]
+	}
+	return strings.TrimSpace(name), arg, name != ""
+}
+
+// FileMarked reports whether the file carries a file-scope marker.
+func (in *Info) FileMarked(f *ast.File, name string) bool {
+	return in.fileMarks[f][name]
+}
+
+// FuncMarked reports whether the function is in scope for the marker:
+// either its doc comment carries it or its file does.
+func (in *Info) FuncMarked(f *ast.File, fn *ast.FuncDecl, name string) bool {
+	if in.fileMarks[f][name] {
+		return true
+	}
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if n, _, ok := parse(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressed looks for a suppression of the given name covering pos:
+// on the same line or the line immediately above.  It returns the
+// justification and whether a suppression comment was found at all;
+// callers must treat (found && reason == "") as a finding of its own —
+// a waiver without a justification suppresses nothing.
+func (in *Info) Suppressed(pos token.Pos, name string) (reason string, found bool) {
+	p := in.fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, s := range in.supp[lineKey{p.Filename, line}] {
+			if s.Name == name {
+				return s.Reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Report emits a diagnostic for a finding unless a suppression with a
+// non-empty justification covers it.  The suppression name is the
+// analyzer's waiver keyword; findings with an empty-justification
+// waiver get an augmented message so the bare waiver is itself the
+// thing to fix.
+func (in *Info) Report(pass *analysis.Pass, pos token.Pos, suppName, format string, args ...any) {
+	reason, found := in.Suppressed(pos, suppName)
+	if found && reason != "" {
+		return
+	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	if found {
+		msg += " (//faultsim:" + suppName + " requires a justification string)"
+	}
+	pass.Report(analysis.Diagnostic{Pos: pos, Message: msg})
+}

@@ -1,0 +1,286 @@
+// Package hotpathalloc defines an analyzer that forbids alloc-inducing
+// constructs in functions marked //faultsim:hotpath — the compiled
+// replay kernels, the streaming chunk driver, and the arena reset
+// paths, whose zero-allocation contract is otherwise guarded only by
+// AllocsPerRun property tests on the fixtures they happen to cover.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/faultsim"
+)
+
+const doc = `forbid alloc-inducing constructs in //faultsim:hotpath functions
+
+In a function marked //faultsim:hotpath (or any function of a file
+whose header carries the marker), the following are reported: make and
+new, slice/map composite literals, address-taken composite literals,
+append to a slice not locally re-sliced to zero length, function
+literals (closures), defer and go statements, fmt calls, string
+concatenation and string([]byte) conversions, map reads/writes/deletes,
+and conversions of non-pointer concrete values to interface types.
+Pointer-to-interface conversions and constant-size array literals are
+allowed (they do not allocate), as is the non-blocking
+select{case <-done: default:} cancellation poll.  Waive an individual
+finding with "//faultsim:alloc-ok <justification>" on the same or the
+preceding line.`
+
+// Analyzer is the hotpathalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := faultsim.Collect(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !info.FuncMarked(f, fn, faultsim.Hotpath) {
+				continue
+			}
+			c := &checker{pass: pass, info: info}
+			c.collectPrealloc(fn.Body)
+			ast.Inspect(fn.Body, c.visit)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	info *faultsim.Info
+	// prealloc holds local slice variables whose backing storage is
+	// provably reused: anything assigned from a zero-length reslice
+	// (v := buf[:0] and v = buf[:0]).  append to these grows into
+	// retained capacity and is allowed.
+	prealloc map[types.Object]bool
+}
+
+// collectPrealloc records locals assigned from x[:0]-style reslices
+// anywhere in the body (the assignment dominates the append in every
+// real hot loop; a stale entry only weakens the check for that one
+// variable, never breaks compilation).
+func (c *checker) collectPrealloc(body *ast.BlockStmt) {
+	c.prealloc = make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isZeroReslice(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := c.objectOf(id); obj != nil {
+					c.prealloc[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) objectOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// isZeroReslice matches s[:0] and s[:0:n].
+func isZeroReslice(e ast.Expr) bool {
+	sl, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || sl.Low != nil {
+		return false
+	}
+	lit, ok := sl.High.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.info.Report(c.pass, pos, faultsim.AllocOK, format, args...)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.call(n)
+	case *ast.FuncLit:
+		c.report(n.Pos(), "hotpath: function literal allocates a closure")
+	case *ast.DeferStmt:
+		c.report(n.Pos(), "hotpath: defer in hot path")
+	case *ast.GoStmt:
+		c.report(n.Pos(), "hotpath: go statement allocates a goroutine")
+	case *ast.CompositeLit:
+		c.composite(n)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				c.report(n.Pos(), "hotpath: address-taken composite literal escapes to the heap")
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && c.isString(n.X) {
+			c.report(n.Pos(), "hotpath: string concatenation allocates")
+		}
+	case *ast.IndexExpr:
+		if c.isMap(n.X) {
+			c.report(n.Pos(), "hotpath: map access in hot path")
+		}
+	case *ast.RangeStmt:
+		if c.isMap(n.X) {
+			c.report(n.Pos(), "hotpath: map iteration in hot path")
+		}
+	}
+	return true
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *checker) isMap(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// composite reports slice and map literals; struct and array value
+// literals are allowed (no allocation unless address-taken, which the
+// UnaryExpr case catches).
+func (c *checker) composite(n *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(n.Pos(), "hotpath: slice literal allocates")
+	case *types.Map:
+		c.report(n.Pos(), "hotpath: map literal allocates")
+	}
+}
+
+func (c *checker) call(n *ast.CallExpr) {
+	tinfo := c.pass.TypesInfo
+	// Type conversions: string(bytes) allocates; T(x) into an
+	// interface type boxes non-pointer values.
+	if tv, ok := tinfo.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+		to := tv.Type
+		if b, ok := to.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 && !c.isString(n.Args[0]) {
+			c.report(n.Pos(), "hotpath: string conversion allocates")
+		}
+		if _, ok := to.Underlying().(*types.Slice); ok && c.isString(n.Args[0]) {
+			c.report(n.Pos(), "hotpath: string-to-slice conversion allocates")
+		}
+		if types.IsInterface(to.Underlying()) {
+			c.ifaceArg(n.Args[0], to)
+		}
+		return
+	}
+	switch fun := ast.Unparen(n.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := tinfo.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make":
+				c.report(n.Pos(), "hotpath: make allocates")
+				return
+			case "new":
+				c.report(n.Pos(), "hotpath: new allocates")
+				return
+			case "append":
+				c.checkAppend(n)
+				return
+			case "delete":
+				c.report(n.Pos(), "hotpath: map delete in hot path")
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := tinfo.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			c.report(n.Pos(), "hotpath: fmt.%s formats and allocates", obj.Name())
+			return
+		}
+	}
+	// Implicit interface conversions at call boundaries: a non-pointer
+	// concrete argument passed to an interface parameter is boxed.
+	sig, ok := tinfo.TypeOf(n.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range n.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if n.Ellipsis != token.NoPos {
+				continue // a spread slice is passed as-is, no boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt.Underlying()) {
+			c.ifaceArg(arg, pt)
+		}
+	}
+}
+
+// ifaceArg reports arg when converting it to the interface type would
+// box a non-pointer concrete value.  Pointers, interfaces, channels,
+// maps, funcs and nil all fit in the interface data word without
+// allocating.
+func (c *checker) ifaceArg(arg ast.Expr, to types.Type) {
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok || tv.IsNil() {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature, *types.Slice:
+		// Slices are three words but their conversion still allocates;
+		// keep slices reported.
+		if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+			return
+		}
+	}
+	c.report(arg.Pos(), "hotpath: conversion of %s to interface %s allocates", types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)), types.TypeString(to, types.RelativeTo(c.pass.Pkg)))
+}
+
+// checkAppend allows append into storage the function provably reuses
+// (a local re-sliced to length zero, or a direct s[:0] argument) and
+// reports everything else.
+func (c *checker) checkAppend(n *ast.CallExpr) {
+	if len(n.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(n.Args[0])
+	if isZeroReslice(dst) {
+		return
+	}
+	if id, ok := dst.(*ast.Ident); ok {
+		if obj := c.objectOf(id); obj != nil && c.prealloc[obj] {
+			return
+		}
+	}
+	c.report(n.Pos(), "hotpath: append may grow the backing array")
+}

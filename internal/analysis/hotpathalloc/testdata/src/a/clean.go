@@ -1,0 +1,56 @@
+package a
+
+import "context"
+
+// reader is a stand-in for the fault-hook interfaces the kernels call
+// through: passing a pointer receiver never boxes.
+type reader interface{ read() int }
+
+type cell struct{ v int }
+
+func (c *cell) read() int { return c.v }
+
+func observe(r reader) int { return r.read() }
+
+// cleanHot shows the allowed hot-path patterns: constant-size array
+// values, pointer-to-interface conversions, appends into storage
+// re-sliced to zero length, copy, bit twiddling, and the non-blocking
+// cancellation poll against a possibly-nil Done channel.
+//
+//faultsim:hotpath
+func cleanHot(ctx context.Context, f *frame, scratch []int, lanes []uint64) int {
+	var window [8]int // array value: stack-allocated, allowed
+	kept := scratch[:0]
+	for i, v := range scratch {
+		if v != 0 {
+			kept = append(kept, v) // append into re-sliced local: allowed
+		}
+		window[i&7] = v
+	}
+	c := cell{v: len(kept)} // struct value literal: allowed
+	total := observe(&c)    // pointer to interface: no boxing
+	done := ctx.Done()
+	for i := range lanes {
+		select { // one comm case + default: the cancellation poll
+		case <-done:
+			return total
+		default:
+		}
+		lanes[i] = lanes[i]&^1 | uint64(window[i&7]&1)
+		total += int(lanes[i] & 1)
+	}
+	copy(scratch, kept)
+	return total
+}
+
+// justified shows the waiver path: a justification suppresses, a bare
+// waiver does not.
+//
+//faultsim:hotpath
+func justified(f *frame, n int) {
+	//faultsim:alloc-ok cold start-up path, runs once per worker
+	f.buf = make([]int, n)
+	f.buf = append(f.buf, n) //faultsim:alloc-ok amortized growth, capacity retained across batches
+	//faultsim:alloc-ok
+	f.dirty = make([]int32, n) // want `hotpath: make allocates \(//faultsim:alloc-ok requires a justification string\)`
+}

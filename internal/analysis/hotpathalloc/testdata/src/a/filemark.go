@@ -1,0 +1,14 @@
+// This file's header carries the marker, so every function below is in
+// scope without a per-function comment.
+//
+//faultsim:hotpath
+
+package a
+
+func fileScoped(n int) []int {
+	return make([]int, n) // want `hotpath: make allocates`
+}
+
+func fileScopedClean(dst, src []int) int {
+	return copy(dst, src)
+}

@@ -1,0 +1,60 @@
+package a
+
+import "fmt"
+
+// Sink prevents "declared and not used" noise in the fixtures.
+var Sink any
+
+// frame is a reusable buffer owner, standing in for sim.Arena.
+type frame struct {
+	buf   []int
+	dirty []int32
+}
+
+// marked exhibits every forbidden construct once.
+//
+//faultsim:hotpath
+func marked(f *frame, n int, s string, bs []byte, m map[int]int) {
+	a := make([]int, n) // want `hotpath: make allocates`
+	p := new(frame)     // want `hotpath: new allocates`
+	a = append(a, 1)    // want `hotpath: append may grow the backing array`
+	l := []int{1, 2}    // want `hotpath: slice literal allocates`
+	mm := map[int]int{} // want `hotpath: map literal allocates`
+	pf := &frame{}      // want `hotpath: address-taken composite literal escapes to the heap`
+	cl := func() int {  // want `hotpath: function literal allocates a closure`
+		return n
+	}
+	defer cl()                  // want `hotpath: defer in hot path`
+	go cl()                     // want `hotpath: go statement allocates a goroutine`
+	msg := fmt.Sprintf("%d", n) // want `hotpath: fmt.Sprintf formats and allocates`
+	msg = msg + s               // want `hotpath: string concatenation allocates`
+	str := string(bs)           // want `hotpath: string conversion allocates`
+	bs2 := []byte(s)            // want `hotpath: string-to-slice conversion allocates`
+	v := m[3]                   // want `hotpath: map access in hot path`
+	delete(m, 3)                // want `hotpath: map delete in hot path`
+	for k := range m {          // want `hotpath: map iteration in hot path`
+		v += k
+	}
+	var i any = n
+	Sink = []any{a, p, l, mm, pf, msg, str, bs2, v, i} // want `hotpath: slice literal allocates`
+}
+
+// box passes a non-pointer concrete value to an interface parameter.
+//
+//faultsim:hotpath
+func box(f frame) {
+	consume(f) // want `hotpath: conversion of frame to interface any allocates`
+}
+
+func consume(v any) { Sink = v }
+
+// unmarked uses every construct freely: no marker, no findings.
+func unmarked(n int, m map[int]int) {
+	a := make([]int, n)
+	a = append(a, 1)
+	for k := range m {
+		a = append(a, k)
+	}
+	defer func() {}()
+	Sink = fmt.Sprint(a)
+}

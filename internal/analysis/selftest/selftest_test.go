@@ -1,0 +1,28 @@
+// The selftest is the suite's canary: the seeded fixture plants one
+// known violation per analyzer, and this test fails if any of them
+// stops being reported.  A green tree-wide `go vet -vettool=faultvet`
+// is only meaningful while this stays red on the seeded package.
+package selftest_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/deterministic"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/syncerr"
+)
+
+func TestSeededViolationsAreCaught(t *testing.T) {
+	_, file, _, _ := runtime.Caller(0)
+	testdata := filepath.Join(filepath.Dir(file), "testdata")
+	analyzertest.RunAll(t, testdata, "seeded",
+		hotpathalloc.Analyzer,
+		deterministic.Analyzer,
+		ctxflow.Analyzer,
+		syncerr.Analyzer,
+	)
+}

@@ -1,0 +1,51 @@
+// Package seeded carries one deliberate violation per analyzer.  The
+// selftest runs the whole suite over it and fails if any seeded finding
+// goes unreported — a canary against an analyzer silently losing its
+// teeth (a bad marker-scanner change, an over-broad exemption).  CI
+// also copies this file into a scratch module and asserts that
+// `go vet -vettool=faultvet` exits non-zero on it.
+//
+//faultsim:deterministic
+package seeded
+
+import (
+	"context"
+	"os"
+)
+
+// HotAppend grows a slice on a marked hot path without a preallocation
+// or a justification.
+//
+//faultsim:hotpath
+func HotAppend(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i) // want `hotpath: append may grow the backing array`
+	}
+	return dst
+}
+
+// RangeTally iterates a map in a deterministic scope with no ordered
+// justification.
+func RangeTally(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `deterministic: map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+// Persist discards a Sync error on a durable write path.
+//
+//faultsim:durable
+func Persist(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	f.Sync() // want `syncerr: error result of \(\*os\.File\)\.Sync is discarded on the durable write path`
+	return f.Close()
+}
+
+// Reseed manufactures a root context although the caller handed one in.
+func Reseed(ctx context.Context) context.Context {
+	return context.Background() // want `ctxflow: context.Background inside a function with a context parameter; pass the caller's context`
+}

@@ -1,0 +1,147 @@
+// Package syncerr defines an analyzer for the checkpoint/durable write
+// path: in code marked //faultsim:durable, the error results of
+// (*os.File).Sync, (*os.File).Close and os.Rename must be checked.  A
+// dropped fsync or rename error silently forfeits the crash-safety the
+// checkpoint format exists to provide — the caller believes a cut is
+// durable when the kernel may still lose it.
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/faultsim"
+)
+
+const doc = `require checked errors from Sync/Close/Rename in //faultsim:durable code
+
+In a function marked //faultsim:durable (or any function of a file
+whose header carries the marker), a call to (*os.File).Sync,
+(*os.File).Close or os.Rename whose error result is discarded — used
+as a bare statement, deferred, launched in a goroutine, or assigned
+only to the blank identifier — is reported.  Handle the error or
+deliberately propagate it; there is no waiver comment for this
+analyzer, because a checked error is always expressible.`
+
+// Analyzer is the syncerr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := faultsim.Collect(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !info.FuncMarked(f, fn, faultsim.Durable) {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc reports durable-path calls whose error result is
+// discarded.  Discarding is recognized structurally from the statement
+// forms that can drop a result; any other use (assignment to a named
+// variable, an if-init, a return, an argument) counts as checked.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				report(pass, call, "discarded")
+			}
+		case *ast.DeferStmt:
+			report(pass, n.Call, "discarded by defer")
+		case *ast.GoStmt:
+			report(pass, n.Call, "discarded by go")
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkAssign flags a durable call whose error result lands only in
+// blank identifiers.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Multi-value form: err is the last result; single call on the rhs.
+	if len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isDurableCall(pass, call) != "" {
+			if isBlank(as.Lhs[len(as.Lhs)-1]) {
+				report(pass, call, "assigned to _")
+			}
+			return
+		}
+	}
+	for i, rhs := range as.Rhs {
+		if call, ok := rhs.(*ast.CallExpr); ok && i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+			report(pass, call, "assigned to _")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if name := isDurableCall(pass, call); name != "" {
+		pass.Reportf(call.Pos(), "syncerr: error result of %s is %s on the durable write path", name, how)
+	}
+}
+
+// isDurableCall returns a display name when the call is one of the
+// durable-path operations whose error is load-bearing.
+func isDurableCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		if !isOSFile(recv.Type()) {
+			return ""
+		}
+		switch fn.Name() {
+		case "Sync":
+			return "(*os.File).Sync"
+		case "Close":
+			return "(*os.File).Close"
+		}
+		return ""
+	}
+	if fn.Pkg().Path() == "os" && fn.Name() == "Rename" {
+		return "os.Rename"
+	}
+	return ""
+}
+
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

@@ -1,0 +1,12 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	analyzertest.Run(t, "testdata", syncerr.Analyzer, "a")
+}

@@ -1,0 +1,38 @@
+// Durable write path fixture: the file header marks every function.
+//
+//faultsim:durable
+
+package a
+
+import (
+	"fmt"
+	"os"
+)
+
+// writeBad drops every durable error the statement grammar allows.
+func writeBad(f *os.File, from, to string) {
+	f.Sync()            // want `syncerr: error result of \(\*os.File\).Sync is discarded on the durable write path`
+	_ = f.Sync()        // want `syncerr: error result of \(\*os.File\).Sync is assigned to _ on the durable write path`
+	defer f.Close()     // want `syncerr: error result of \(\*os.File\).Close is discarded by defer on the durable write path`
+	os.Rename(from, to) // want `syncerr: error result of os.Rename is discarded on the durable write path`
+	go f.Sync()         // want `syncerr: error result of \(\*os.File\).Sync is discarded by go on the durable write path`
+}
+
+// writeGood checks or propagates every durable error.
+func writeGood(f *os.File, from, to string) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	cerr := f.Close()
+	if err := os.Rename(from, to); err != nil {
+		return err
+	}
+	return cerr
+}
+
+// nonDurableCalls are out of the analyzer's vocabulary even in scope:
+// only Sync, Close and Rename carry the durability contract.
+func nonDurableCalls(f *os.File, b []byte) {
+	f.Write(b)
+	os.Remove(f.Name())
+}

@@ -1,0 +1,20 @@
+package a
+
+import "os"
+
+// No marker on this file or function: a read path may defer Close
+// without a finding.
+func readAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, st.Size())
+	_, err = f.Read(buf)
+	return buf, err
+}

@@ -1,3 +1,11 @@
+// The checkpoint format and its durable writer.  Encoding is
+// deterministic (identical states must encode to identical bytes — the
+// resume property tests diff final checkpoint files), and the write
+// path is durable (fsync/close/rename errors are load-bearing).
+//
+//faultsim:deterministic
+//faultsim:durable
+
 package checkpoint
 
 import (
@@ -333,8 +341,11 @@ func Decode(b []byte) (*State, error) {
 // WriteAtomic durably replaces path with the encoded state: the bytes
 // go to a temp file in the same directory, are fsynced, and renamed
 // over path, so a crash at any instant leaves either the previous
-// checkpoint or the new one — never a torn file.  The directory is
-// fsynced best-effort so the rename itself survives a crash.
+// checkpoint or the new one — never a torn file.  The directory entry
+// is then fsynced as well, and every error on that chain is returned:
+// checkpointing was explicitly requested, and a dropped fsync error
+// would let the caller believe a cut is durable when the kernel may
+// still lose the rename in a crash.
 func WriteAtomic(path string, s *State) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -342,23 +353,38 @@ func WriteAtomic(path string, s *State) error {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(s.Encode()); err != nil {
-		tmp.Close()
-		return fmt.Errorf("checkpoint: %w", err)
+	_, werr := tmp.Write(s.Encode())
+	if werr == nil {
+		werr = tmp.Sync()
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("checkpoint: %w", err)
+	// Close after a failed write/sync can only add detail, never mask:
+	// the first error of the chain is the one reported.
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+	if werr != nil {
+		return fmt.Errorf("checkpoint: %w", werr)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if df, err := os.Open(dir); err == nil {
-		df.Sync()
-		df.Close()
+	// Durability contract: the rename above is durable only once the
+	// containing directory's entry is on stable storage.  A failure
+	// anywhere on this path is a real durability loss — the previous
+	// checkpoint may reappear after a crash — so it is returned, not
+	// logged and forgotten; the campaign is still resumable from the
+	// last checkpoint that succeeded.
+	df, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir for fsync: %w", err)
+	}
+	serr := df.Sync()
+	cerr := df.Close()
+	if serr != nil {
+		return fmt.Errorf("checkpoint: fsync dir after rename: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("checkpoint: close dir: %w", cerr)
 	}
 	return nil
 }

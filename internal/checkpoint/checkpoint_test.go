@@ -164,3 +164,14 @@ func TestWriteAtomicAndLoad(t *testing.T) {
 		t.Fatalf("got %v, want ErrCorrupt", err)
 	}
 }
+
+// WriteAtomic returns — rather than panics on or drops — every failure
+// on its durability chain.  A missing parent directory is the portably
+// provokable one; the fsync-after-rename failures share the same
+// return path.
+func TestWriteAtomicReportsFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "c.fckp")
+	if err := WriteAtomic(path, sampleState()); err == nil {
+		t.Fatal("WriteAtomic into a missing directory succeeded")
+	}
+}

@@ -123,6 +123,8 @@ func DefaultWorkers() int {
 // the experiment tables) execute under — the CLI installs its
 // signal-cancelled context here so SIGINT/SIGTERM reaches every shard
 // driver without threading a parameter through each experiment.
+//
+//faultsim:ambient audited ambient-default hook: installed once by the CLI, read by context-less entry points, cleared by SetDefaultContext(nil)
 var defaultCtx atomic.Pointer[context.Context]
 
 // SetDefaultContext installs the ambient campaign context (nil
@@ -140,6 +142,7 @@ func DefaultContext() context.Context {
 	if p := defaultCtx.Load(); p != nil {
 		return *p
 	}
+	//faultsim:ambient the documented fallback when no CLI installed a context; campaigns then run uncancellable by design
 	return context.Background()
 }
 
@@ -268,9 +271,11 @@ func (r Result) Coverage() float64 {
 }
 
 // Classes returns the classes present, in canonical order.
+//
+//faultsim:deterministic
 func (r Result) Classes() []fault.Class {
 	var out []fault.Class
-	for c := range r.ByClass {
+	for c := range r.ByClass { //faultsim:ordered order-insensitive accumulation; sorted below
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -1,3 +1,11 @@
+// Checkpoint glue for streaming sessions: contiguous-frontier folding
+// must be deterministic (resumed sessions byte-compare against
+// uninterrupted ones) and every checkpoint write sits on the durable
+// path.
+//
+//faultsim:deterministic
+//faultsim:durable
+
 package coverage
 
 import (
@@ -271,11 +279,11 @@ func (d *durable) flush() {
 // is worse than stopping — the campaign is resumable up to the last
 // successful write.
 func (d *durable) write(st *checkpoint.State) {
-	t0 := time.Now()
+	t0 := time.Now() //faultsim:ordered telemetry timing only; never reaches emitted results
 	if err := checkpoint.WriteAtomic(d.cfg.Path, st); err != nil {
 		panic(fmt.Sprintf("coverage: checkpoint write: %v", err))
 	}
-	telemetry.Active().CheckpointWrite(time.Since(t0))
+	telemetry.Active().CheckpointWrite(time.Since(t0)) //faultsim:ordered telemetry timing only
 	d.lastWrite = d.frontier
 }
 
@@ -283,7 +291,7 @@ func (d *durable) write(st *checkpoint.State) {
 // sorted representation.
 func resultTallies(m map[fault.Class]ClassStat) []checkpoint.ClassTally {
 	out := make([]checkpoint.ClassTally, 0, len(m))
-	for c, s := range m {
+	for c, s := range m { //faultsim:ordered order-insensitive accumulation; sorted below
 		out = append(out, checkpoint.ClassTally{Class: int32(c), Total: int64(s.Total), Detected: int64(s.Detected)})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
@@ -294,7 +302,7 @@ func resultTallies(m map[fault.Class]ClassStat) []checkpoint.ClassTally {
 // checkpoint's sorted representation.
 func classTallies(total, det map[fault.Class]int) []checkpoint.ClassTally {
 	out := make([]checkpoint.ClassTally, 0, len(total))
-	for c, t := range total {
+	for c, t := range total { //faultsim:ordered order-insensitive accumulation; sorted below
 		out = append(out, checkpoint.ClassTally{Class: int32(c), Total: int64(t), Detected: int64(det[c])})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })

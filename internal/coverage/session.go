@@ -1,3 +1,9 @@
+// The session planner/executor.  Stage ordering and result folding
+// must be deterministic: comparative experiments byte-compare session
+// output across engines and runs.
+//
+//faultsim:deterministic
+
 package coverage
 
 import (
@@ -278,8 +284,9 @@ func (p *Plan) RunContext(ctx context.Context) *Session {
 			before = reg.Snapshot()
 			reg.BeginStage(st.runner.Name(), int64(view.Len()))
 		}
-		t0 := time.Now()
+		t0 := time.Now() //faultsim:ordered stage wall-clock is telemetry, reported beside the deterministic counts
 		det, stats, err := p.detect(ctx, st, view, workers, arenas)
+		//faultsim:ordered stage wall-clock is telemetry, reported beside the deterministic counts
 		finishStage(stats, st, view.Len(), time.Since(t0), reg, before)
 		res := Result{
 			Runner:        st.runner.Name(),
@@ -654,7 +661,7 @@ func oracleDetectView(ctx context.Context, r Runner, v fault.View, mk MemoryFact
 				}
 				var t0 time.Time
 				if tw != nil {
-					t0 = time.Now()
+					t0 = time.Now() //faultsim:ordered per-fault kernel timing is telemetry only
 				}
 				mem := v.At(idx).Inject(mk())
 				d, _ := r.Run(mem)
@@ -662,7 +669,7 @@ func oracleDetectView(ctx context.Context, r Runner, v fault.View, mk MemoryFact
 				if tw != nil {
 					// One full algorithm run per fault dwarfs a flush, so
 					// the oracle flushes per fault.
-					tl.KernelNanos += uint64(time.Since(t0))
+					tl.KernelNanos += uint64(time.Since(t0)) //faultsim:ordered per-fault kernel timing is telemetry only
 					tl.Faults++
 					tl.Reps++
 					reg.Flush(tw, &tl)

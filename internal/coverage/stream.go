@@ -1,3 +1,10 @@
+// The streaming session executor and its sink folds.  Everything that
+// accumulates results here must be deterministic: streaming sessions
+// are property-tested byte-identical to materialized ones and to
+// interrupted-then-resumed ones.
+//
+//faultsim:deterministic
+
 package coverage
 
 import (
@@ -321,9 +328,10 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 			}
 			reg.BeginStage(st.runner.Name(), total)
 		}
-		t0 := time.Now()
+		t0 := time.Now() //faultsim:ordered stage wall-clock is telemetry, reported beside the deterministic counts
 		cfg := sim.StreamConfig{Chunk: chunk, Workers: workers, Drop: stageDrop, Base: base, Arenas: arenas}
 		stats, err := p.detectStream(ctx, st, src, cfg, sink)
+		//faultsim:ordered stage wall-clock is telemetry, reported beside the deterministic counts
 		finishStage(stats, st, res.Total, time.Since(t0), reg, before)
 		res.Stats = stats
 		if err != nil {
@@ -406,7 +414,7 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 		ByClass:     make(map[fault.Class]ClassStat),
 		Interrupted: s.Interrupted,
 	}
-	for c, total := range classTotal {
+	for c, total := range classTotal { //faultsim:ordered fills a map keyed by the same classes; order-insensitive
 		cumRes.ByClass[c] = ClassStat{Total: total, Detected: classDet[c]}
 	}
 	sumCleanRuns(stages, &cumRes)

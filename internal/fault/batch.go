@@ -1,3 +1,9 @@
+// Batch-injection hooks: the OnRead/PreWrite/PostWrite implementations
+// below run inside the replay kernels' per-operation loops, so the
+// whole file is on the zero-allocation hot path.
+//
+//faultsim:hotpath
+
 package fault
 
 import (

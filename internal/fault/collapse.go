@@ -1,3 +1,11 @@
+// Structural fault collapsing.  Collapse must be deterministic: the
+// streaming drivers collapse chunk-locally on every run and the
+// equivalence property tests byte-compare collapsed campaigns against
+// full ones, so class representatives may not depend on iteration
+// order.
+//
+//faultsim:deterministic
+
 package fault
 
 import "repro/internal/telemetry"
@@ -77,6 +85,8 @@ func (c *Collapsed) Expand(rep []bool) []bool {
 // ExpandInto is Expand into a caller-provided buffer of len(Map) —
 // the streaming drivers' per-chunk expansion, which reuses one worker
 // buffer across every chunk of a campaign.
+//
+//faultsim:hotpath
 func (c *Collapsed) ExpandInto(dst, rep []bool) {
 	for i, r := range c.Map {
 		dst[i] = rep[r]

@@ -1,3 +1,8 @@
+// Coupling-fault universes, including the exhaustive pair-CF
+// generators: enumeration order is part of the checkpoint contract.
+//
+//faultsim:deterministic
+
 package fault
 
 import (

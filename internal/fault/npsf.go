@@ -1,3 +1,8 @@
+// Neighborhood pattern-sensitive fault universes: enumeration order is
+// part of the checkpoint contract.
+//
+//faultsim:deterministic
+
 package fault
 
 import (

@@ -1,3 +1,8 @@
+// Hook-object recycling for the replay workers: get/Reset run between
+// batches on the compiled fast path.
+//
+//faultsim:hotpath
+
 package fault
 
 // freelist recycles hook objects of one concrete type across batches.
@@ -17,8 +22,9 @@ func (l *freelist[T]) get() *T {
 		*h = zero
 		return h
 	}
+	//faultsim:alloc-ok free-list growth: only the first batches allocate; steady state reuses
 	h := new(T)
-	l.items = append(l.items, h)
+	l.items = append(l.items, h) //faultsim:alloc-ok free-list growth, amortized to zero per batch
 	l.used++
 	return h
 }
@@ -64,77 +70,77 @@ func (p *Pool) Reset() {
 
 func (p *Pool) newSAF() *safHook {
 	if p == nil {
-		return new(safHook)
+		return new(safHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.saf.get()
 }
 
 func (p *Pool) newTF() *tfHook {
 	if p == nil {
-		return new(tfHook)
+		return new(tfHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.tf.get()
 }
 
 func (p *Pool) newSOF() *sofHook {
 	if p == nil {
-		return new(sofHook)
+		return new(sofHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.sof.get()
 }
 
 func (p *Pool) newDRF() *drfHook {
 	if p == nil {
-		return new(drfHook)
+		return new(drfHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.drf.get()
 }
 
 func (p *Pool) newAF() *afHook {
 	if p == nil {
-		return new(afHook)
+		return new(afHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.af.get()
 }
 
 func (p *Pool) newCFin() *cfinHook {
 	if p == nil {
-		return new(cfinHook)
+		return new(cfinHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.cfin.get()
 }
 
 func (p *Pool) newCFid() *cfidHook {
 	if p == nil {
-		return new(cfidHook)
+		return new(cfidHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.cfid.get()
 }
 
 func (p *Pool) newCFst() *cfstHook {
 	if p == nil {
-		return new(cfstHook)
+		return new(cfstHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.cfst.get()
 }
 
 func (p *Pool) newBF() *bfHook {
 	if p == nil {
-		return new(bfHook)
+		return new(bfHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.bf.get()
 }
 
 func (p *Pool) newSNPSF() *snpsfHook {
 	if p == nil {
-		return new(snpsfHook)
+		return new(snpsfHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.snpsf.get()
 }
 
 func (p *Pool) newANPSF() *anpsfHook {
 	if p == nil {
-		return new(anpsfHook)
+		return new(anpsfHook) //faultsim:alloc-ok nil-pool fallback: unpooled injection allocates by design
 	}
 	return p.anpsf.get()
 }

@@ -1,3 +1,11 @@
+// Streaming universe generators.  Every Source in this package is an
+// index-addressable pure function of (family parameters, index):
+// Next/Skip/Reset must enumerate the same faults in the same order on
+// every run, or checkpoint resume and the streaming≡materialized
+// equivalence break.
+//
+//faultsim:deterministic
+
 package fault
 
 import "repro/internal/ram"

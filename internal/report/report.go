@@ -3,6 +3,12 @@
 // funnels its rows through Table so the output format is uniform.
 package report
 
+// Emitters must be deterministic: CI byte-diffs survivor tables across
+// resumed and uninterrupted runs, so row/column order may not depend
+// on map iteration or clocks.
+//
+//faultsim:deterministic
+
 import (
 	"encoding/json"
 	"fmt"

@@ -129,6 +129,8 @@ func (a *Arena) Clock() uint64 { return a.clock }
 func (a *Arena) StoredLane(cell, bit int) uint64 { return a.lanes[cell*a.p.width+bit] }
 
 // SetStoredLane implements fault.LaneMemory.
+//
+//faultsim:hotpath
 func (a *Arena) SetStoredLane(cell, bit int, value, mask uint64) {
 	a.markDirty(cell)
 	idx := cell*a.p.width + bit
@@ -136,10 +138,12 @@ func (a *Arena) SetStoredLane(cell, bit int, value, mask uint64) {
 }
 
 // markDirty records cell for restoration at the next reset.
+//
+//faultsim:hotpath
 func (a *Arena) markDirty(cell int) {
 	if a.dirtyAt[cell] != a.epoch {
 		a.dirtyAt[cell] = a.epoch
-		a.dirty = append(a.dirty, int32(cell))
+		a.dirty = append(a.dirty, int32(cell)) //faultsim:alloc-ok capacity is retained across resets; amortizes to zero
 	}
 }
 
@@ -150,30 +154,38 @@ const (
 )
 
 // OnWriteTo implements fault.HookRegistry.
+//
+//faultsim:hotpath
 func (a *Arena) OnWriteTo(cell int, h fault.WriteHook) {
 	if len(a.writeHooks[cell]) == 0 {
-		a.hookedW = append(a.hookedW, int32(cell))
+		a.hookedW = append(a.hookedW, int32(cell)) //faultsim:alloc-ok capacity is retained across resets
 		a.flags[cell] |= flagWrite
 	}
-	a.writeHooks[cell] = append(a.writeHooks[cell], h)
+	a.writeHooks[cell] = append(a.writeHooks[cell], h) //faultsim:alloc-ok hook lists keep capacity across resets
 }
 
 // OnReadOf implements fault.HookRegistry.
+//
+//faultsim:hotpath
 func (a *Arena) OnReadOf(cell int, h fault.ReadHook) {
 	if len(a.readHooks[cell]) == 0 {
-		a.hookedR = append(a.hookedR, int32(cell))
+		a.hookedR = append(a.hookedR, int32(cell)) //faultsim:alloc-ok capacity is retained across resets
 		a.flags[cell] |= flagRead
 	}
-	a.readHooks[cell] = append(a.readHooks[cell], h)
+	a.readHooks[cell] = append(a.readHooks[cell], h) //faultsim:alloc-ok hook lists keep capacity across resets
 }
 
 // OnEveryRead implements fault.HookRegistry.
+//
+//faultsim:hotpath
 func (a *Arena) OnEveryRead(h fault.ReadHook) {
-	a.everyRead = append(a.everyRead, h)
+	a.everyRead = append(a.everyRead, h) //faultsim:alloc-ok capacity is retained across resets
 }
 
 // reset restores the arena to the program's initial state, touching
 // only what the previous batch changed.
+//
+//faultsim:hotpath
 func (a *Arena) reset() {
 	w := a.p.width
 	switch {
@@ -259,8 +271,11 @@ func (ap *ArenaPool) Put(a *Arena) {
 
 // inject installs each fault on its machine lane, preferring the
 // pooled (allocation-free) capability.
+//
+//faultsim:hotpath
 func (a *Arena) inject(faults []fault.Fault) error {
 	if len(faults) > BatchSize {
+		//faultsim:alloc-ok cold error path, never taken by a well-formed campaign
 		return fmt.Errorf("sim: batch of %d faults exceeds the %d machine lanes", len(faults), BatchSize)
 	}
 	for lane, f := range faults {
@@ -270,6 +285,7 @@ func (a *Arena) inject(faults []fault.Fault) error {
 		case fault.BatchInjector:
 			bi.BatchInject(a, lane)
 		default:
+			//faultsim:alloc-ok cold error path, never taken by a well-formed campaign
 			return fmt.Errorf("sim: fault %s (%T) does not support batch injection", f, f)
 		}
 	}

@@ -51,6 +51,8 @@ func Batchable(faults []fault.Fault) bool {
 // partial detected slice is returned as computed so far, and the error
 // is ctx.Err() — callers distinguish interruption from replay failure
 // by errors.Is(err, context.Canceled/DeadlineExceeded).
+//
+//faultsim:hotpath
 func shard(ctx context.Context, v fault.View, workers int, newWorker func() (replay func(batch []fault.Fault) (uint64, error), done func())) ([]bool, int, error) {
 	n := v.Len()
 	batches := (n + BatchSize - 1) / BatchSize
@@ -60,24 +62,24 @@ func shard(ctx context.Context, v fault.View, workers int, newWorker func() (rep
 	if workers > batches {
 		workers = batches
 	}
-	detected := make([]bool, n)
+	detected := make([]bool, n) //faultsim:alloc-ok one result slice per shard call, amortized over the segment
 	reg := telemetry.Active()
 	ctxDone := ctx.Done()
 	var cursor atomic.Int64
 	var stop atomic.Bool
-	errs := make([]error, workers)
+	errs := make([]error, workers) //faultsim:alloc-ok one slot per worker at startup
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		go func(w int) { //faultsim:alloc-ok worker startup: one goroutine and closure per worker
+			defer wg.Done() //faultsim:alloc-ok worker-lifetime defer
 			replay, done := newWorker()
 			if done != nil {
-				defer done()
+				defer done() //faultsim:alloc-ok worker-lifetime defer
 			}
 			var scratch []fault.Fault
 			if !v.Full() {
-				scratch = make([]fault.Fault, 0, BatchSize)
+				scratch = make([]fault.Fault, 0, BatchSize) //faultsim:alloc-ok per-worker scratch, reused by every batch
 			}
 			// Telemetry: counters accumulate in the plain Local and flush
 			// into the padded per-worker slot once per batch; with no

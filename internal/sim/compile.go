@@ -1,3 +1,11 @@
+// The trace compiler.  Compilation must be deterministic: compiled
+// programs are cached process-wide by trace identity, and the collapse
+// rules and checkpoint spec hashes are derived from compiler output,
+// so the same trace must lower to the same instruction stream on every
+// run.
+//
+//faultsim:deterministic
+
 package sim
 
 import (

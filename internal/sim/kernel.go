@@ -1,3 +1,9 @@
+// The compiled replay kernels: every function in this file is on the
+// zero-allocation hot path (AllocsPerRun-enforced at runtime,
+// hotpathalloc-enforced at vet time).
+//
+//faultsim:hotpath
+
 package sim
 
 import (
@@ -18,6 +24,7 @@ func (p *Program) Replay(a *Arena, faults []fault.Fault) (uint64, error) {
 		return 0, nil
 	}
 	if a.p != p {
+		//faultsim:alloc-ok cold error path, never taken by a well-formed campaign
 		return 0, fmt.Errorf("sim: arena belongs to a different program")
 	}
 	a.reset()

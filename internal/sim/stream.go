@@ -129,6 +129,8 @@ func ShardsCompiledStream(ctx context.Context, p *Program, src fault.Source, cfg
 
 // streamShard is the shared driver; sum non-nil enables per-chunk
 // structural collapsing.
+//
+//faultsim:hotpath
 func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *fault.TraceSummary,
 	newWorker func() (func([]fault.Fault) (uint64, error), func()),
 	sink ChunkSink) (int, int, error) {
@@ -146,9 +148,9 @@ func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *f
 	)
 	// pull claims the next chunk (its universe base index and length)
 	// under the source lock; ok is false once the stream is drained.
-	pull := func(buf []fault.Fault) (b, n int, ok bool) {
+	pull := func(buf []fault.Fault) (b, n int, ok bool) { //faultsim:alloc-ok one closure per streamShard call
 		srcMu.Lock()
-		defer srcMu.Unlock()
+		defer srcMu.Unlock() //faultsim:alloc-ok open-coded defer, once per chunk claim, not per fault
 		if exhausted {
 			return 0, 0, false
 		}
@@ -160,21 +162,21 @@ func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *f
 		}
 		return b, n, true
 	}
-	errs := make([]error, workers)
+	errs := make([]error, workers) //faultsim:alloc-ok one slot per worker at startup
 	reg := telemetry.Active()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		go func(w int) { //faultsim:alloc-ok worker startup: one goroutine and closure per worker
+			defer wg.Done() //faultsim:alloc-ok worker-lifetime defer
 			replay, done := newWorker()
 			if done != nil {
-				defer done()
+				defer done() //faultsim:alloc-ok worker-lifetime defer
 			}
-			buf := make([]fault.Fault, chunk)
-			idx := make([]int, chunk)
-			det := make([]bool, chunk)
-			repDet := make([]bool, chunk)
+			buf := make([]fault.Fault, chunk) //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
+			idx := make([]int, chunk)         //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
+			det := make([]bool, chunk)        //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
+			repDet := make([]bool, chunk)     //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
 			// Telemetry: worker-local counters, flushed into the padded
 			// per-worker slot once per chunk.  The source-claim and
 			// sink-acquire waits are timed separately from the kernel so a
