@@ -11,6 +11,7 @@ package repro
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -310,6 +311,25 @@ func BenchmarkCampaign(b *testing.B) {
 				b.ReportMetric(float64(u.Len())*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
 			})
 		}
+		// Wide-lane variants of the compiled engine: the same campaign
+		// replayed 256 and 512 machines per batch.  The fault set, the
+		// program and the verdicts are identical (property-tested) — only
+		// the arena geometry changes, so the faults/s delta against
+		// n=.../compiled is pure batch-width amortization.
+		for _, machines := range []int{256, 512} {
+			lanes := machines / 64
+			b.Run(fmt.Sprintf("n=%d/compiled/lanes=%d", n, machines), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := coverage.Plan{
+						Runners: []coverage.Runner{r}, Universe: u, Memory: mk,
+						Engine: coverage.EngineCompiled, LaneWords: lanes,
+					}
+					sink = uint64(p.Run().Results[0].Detected)
+				}
+				b.ReportMetric(float64(u.Len())*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+			})
+		}
 	}
 }
 
@@ -414,6 +434,58 @@ func BenchmarkStreamingCampaign(b *testing.B) {
 				sink = uint64(res.Detected)
 			}
 			b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+		})
+	}
+}
+
+// BenchmarkCampaignParallel gates parallel scaling on the streaming
+// compiled path: the exhaustive coupling universe of
+// BenchmarkStreamingCampaign swept across worker counts at the wide
+// 256-machine batch width.  Two metrics per sub-bench: faults/s (the
+// scaling curve — workers=4 should hold ≥0.6× linear over workers=1 on
+// a ≥4-core machine) and sinkwait/worker, the mean fraction of a
+// worker's wall time spent blocked acquiring the serialized chunk
+// sink.  The workers=16 row exists for the latter: oversubscribed
+// workers quantify how far the single-lock sink design is from
+// becoming the bottleneck (see README "Scaling" for measured shares).
+func BenchmarkCampaignParallel(b *testing.B) {
+	const n = 256
+	src := fault.FullCouplingSource(n)
+	count, _ := src.Count()
+	st := &fault.Stream{Name: "cf-exhaustive", Source: src}
+	mk := func() ram.Memory { return ram.NewBOM(n) }
+	r := coverage.MarchRunner(march.MarchCMinus(), nil)
+	workerSet := []int{1, 2, 4, 16}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 && g != 16 {
+		workerSet = append(workerSet, g)
+	}
+	for _, workers := range workerSet {
+		b.Run(fmt.Sprintf("n=%d/lanes=256/workers=%d", n, workers), func(b *testing.B) {
+			// A registry is attached so the per-worker sink-wait split is
+			// captured; BenchmarkTelemetryOverhead bounds its cost at ~2%.
+			telemetry.SetActive(telemetry.NewRegistry())
+			defer telemetry.SetActive(nil)
+			b.ReportAllocs()
+			var shareSum float64
+			var shareN int
+			for i := 0; i < b.N; i++ {
+				p := coverage.Plan{
+					Runners: []coverage.Runner{r}, Stream: st,
+					Memory: mk, Workers: workers,
+					Engine: coverage.EngineCompiled, LaneWords: 4,
+					Cache: coverage.SharedProgramCache(),
+				}
+				res := p.Run().Results[0]
+				sink = uint64(res.Detected)
+				for _, s := range res.Stats.SinkWaitShares() {
+					shareSum += s
+					shareN++
+				}
+			}
+			b.ReportMetric(float64(count)*float64(b.N)/b.Elapsed().Seconds(), "faults/s")
+			if shareN > 0 {
+				b.ReportMetric(shareSum/float64(shareN), "sinkwait/worker")
+			}
 		})
 	}
 }

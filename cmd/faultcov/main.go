@@ -94,6 +94,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/coverage"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -159,6 +160,7 @@ func main() {
 	session := flag.Bool("session", false, "print one summary line per campaign session with survivors after each stage")
 	seed := flag.Int64("seed", 0, "seed for the sampled coupling-pair draws (0 = per-experiment defaults), printed in the run header")
 	chunk := flag.Int("chunk", 0, "faults per pull of streaming campaigns (0 = the engine default)")
+	lanes := flag.Int("lanes", 64, "machines simulated per compiled replay batch: 64, 256 or 512 (wide lanes trade arena size for per-pass throughput)")
 	exhaustiveCF := flag.Bool("exhaustive-cf", false, "run E17 over the full-scale exhaustive coupling universes (millions of fault instances, streaming engine only)")
 	progress := flag.Bool("progress", false, "stream live campaign progress (faults/s, ETA, survivors) and per-stage engine reports to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :6060) for the duration of the run")
@@ -191,6 +193,10 @@ func main() {
 	if *resume && *checkpointPath == "" {
 		fail("-resume requires -checkpoint")
 	}
+	laneWords, err := sim.LaneWordsForMachines(*lanes)
+	if err != nil {
+		fail("-lanes: %v", err)
+	}
 
 	eng, err := coverage.ParseEngine(*engine)
 	if err != nil {
@@ -211,6 +217,7 @@ func main() {
 	coverage.SetCollapse(*collapse)
 	coverage.SetDefaultDrop(*drop)
 	coverage.SetDefaultChunk(*chunk)
+	coverage.SetDefaultLaneWords(laneWords)
 	repro.SetSampleSeed(*seed)
 
 	// SIGINT/SIGTERM cancel the campaign context: in-flight stages drain
@@ -319,8 +326,8 @@ func main() {
 		seedLabel = fmt.Sprintf("%d", *seed)
 	}
 	if *format == "text" {
-		fmt.Printf("# engine=%s workers=%d collapse=%v drop=%v seed=%s chunk=%d\n\n",
-			eng, effWorkers, *collapse, *drop, seedLabel, coverage.DefaultChunk())
+		fmt.Printf("# engine=%s workers=%d lanes=%d collapse=%v drop=%v seed=%s chunk=%d\n\n",
+			eng, effWorkers, *lanes, *collapse, *drop, seedLabel, coverage.DefaultChunk())
 	}
 
 	id := strings.ToLower(*exp)

@@ -24,6 +24,24 @@ func HotAppend(dst []int, n int) []int {
 	return dst
 }
 
+// WideReplay allocates a per-group detection scratch inside a marked
+// wide-kernel batch loop — the regression the wide-lane kernels must
+// never reintroduce (per-batch buffers belong on the arena, sized once
+// at construction).
+//
+//faultsim:hotpath
+func WideReplay(lanes [][]uint64, groups int) uint64 {
+	var sig uint64
+	for _, batch := range lanes {
+		det := make([]uint64, groups) // want `hotpath: make allocates`
+		for g := 0; g < groups && g < len(batch); g++ {
+			det[g] |= batch[g]
+			sig ^= det[g]
+		}
+	}
+	return sig
+}
+
 // RangeTally iterates a map in a deterministic scope with no ordered
 // justification.
 func RangeTally(m map[string]int) int {

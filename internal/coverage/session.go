@@ -115,6 +115,12 @@ type Plan struct {
 	// Workers caps the campaign goroutines (<= 0 means the package
 	// default).
 	Workers int
+	// LaneWords is the lane width compiled programs use, in 64-machine
+	// words (1, 4 or 8 — i.e. 64, 256 or 512 machines per batch; <= 0
+	// means the package default, see SetDefaultLaneWords).  Only the
+	// compiled engine is affected; the interpreter and oracle always
+	// run 64-wide.
+	LaneWords int
 	// Engine selects the execution strategy for every stage (with the
 	// usual per-stage oracle fallback for non-replayable runners).
 	Engine Engine
@@ -523,6 +529,7 @@ func (p *Plan) prepareStage(r Runner, index int, batchable bool) *stage {
 		st.falsePositive, st.cleanOps = runClean(r, p.Memory)
 		return st
 	}
+	lanes := p.laneWords()
 	mem := p.Memory()
 	var key sim.ProgramKey
 	cached := false
@@ -531,6 +538,7 @@ func (p *Plan) prepareStage(r Runner, index int, batchable bool) *stage {
 			Runner:   tk.TraceKey(),
 			Size:     mem.Size(),
 			Width:    mem.Width(),
+			Lanes:    lanes,
 			InitHash: sim.InitHash(mem),
 		}
 		cached = true
@@ -554,7 +562,7 @@ func (p *Plan) prepareStage(r Runner, index int, batchable bool) *stage {
 		st.tr = tr
 		return st
 	}
-	prog, err := sim.Compile(tr)
+	prog, err := sim.Compile(tr, lanes)
 	if err != nil {
 		// Replayability was pre-checked, so an error here is a broken
 		// invariant in the engine — failing loudly beats silently
@@ -567,6 +575,15 @@ func (p *Plan) prepareStage(r Runner, index int, batchable bool) *stage {
 		p.Cache.Put(key, &sim.CachedProgram{Prog: prog, CleanOps: cleanOps})
 	}
 	return st
+}
+
+// laneWords resolves the plan's effective compiled lane width in
+// 64-machine words.
+func (p *Plan) laneWords() int {
+	if p.LaneWords > 0 {
+		return p.LaneWords
+	}
+	return DefaultLaneWords()
 }
 
 // runClean measures the clean baseline for oracle-path stages.
@@ -611,6 +628,8 @@ func (p *Plan) detect(ctx context.Context, st *stage, view fault.View, workers i
 			Reps:       v.Len(),
 			ProgramOps: st.prog.Ops(),
 			TrimmedOps: st.prog.TrimmedOps(),
+			LaneWords:  st.prog.LaneWords(),
+			FusedOps:   st.prog.FusedOps(),
 		}, err
 	case st.tr != nil:
 		d, w, err := sim.ShardsView(ctx, st.tr, view, workers)

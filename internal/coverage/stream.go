@@ -450,6 +450,8 @@ func (p *Plan) detectStream(ctx context.Context, st *stage, src fault.Source, cf
 			Reps:       reps,
 			ProgramOps: st.prog.Ops(),
 			TrimmedOps: st.prog.TrimmedOps(),
+			LaneWords:  st.prog.LaneWords(),
+			FusedOps:   st.prog.FusedOps(),
 		}, err
 	case st.tr != nil:
 		w, reps, err := sim.ShardsStream(ctx, st.tr, src, cfg, sink)
@@ -460,15 +462,15 @@ func (p *Plan) detectStream(ctx context.Context, st *stage, src fault.Source, cf
 	default:
 		// Chunked oracle: the generic driver pulls and filters chunks,
 		// the replay closure runs the full algorithm once per fault.
-		w, reps, err := sim.StreamShard(ctx, src, cfg, func() (func([]fault.Fault) (uint64, error), func()) {
-			return func(batch []fault.Fault) (uint64, error) {
-				var mask uint64
+		w, reps, err := sim.StreamShard(ctx, src, cfg, func() (func([]fault.Fault, []uint64) error, func()) {
+			return func(batch []fault.Fault, det []uint64) error {
+				det[0] = 0
 				for i, f := range batch {
 					if d, _ := st.runner.Run(f.Inject(p.Memory())); d {
-						mask |= 1 << uint(i)
+						det[0] |= 1 << uint(i)
 					}
 				}
-				return mask, nil
+				return nil
 			}, nil
 		}, sink)
 		if err != nil && ctx.Err() == nil {

@@ -27,13 +27,18 @@ type ProgramCache struct {
 	misses uint64
 }
 
-// ProgramKey identifies one (runner, memory geometry) pair.
+// ProgramKey identifies one (runner, memory geometry, lane width)
+// triple.
 type ProgramKey struct {
 	// Runner uniquely identifies the test algorithm's full
 	// configuration (not merely its display name).
 	Runner string
 	// Size and Width are the memory geometry.
 	Size, Width int
+	// Lanes is the program's lane width in 64-machine words: programs
+	// compiled at different widths have different arena geometries and
+	// must not share a cache entry.
+	Lanes int
 	// InitHash fingerprints the pre-run memory contents.
 	InitHash uint64
 }

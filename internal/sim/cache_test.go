@@ -24,7 +24,7 @@ func shapePrograms(t *testing.T) []*Program {
 	}
 	progs := make([]*Program, len(traces))
 	for i, tr := range traces {
-		p, err := Compile(tr)
+		p, err := Compile(tr, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func TestArenaPoolRetargets(t *testing.T) {
 func TestShardsViewMatchesFullRun(t *testing.T) {
 	const n = 48
 	tr := recordMarch(t, march.MATSPlus(), n) // imperfect coverage: mixed verdicts
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestShardsViewMatchesFullRun(t *testing.T) {
 // init-hash discrimination of the key.
 func TestProgramCacheRoundTrip(t *testing.T) {
 	tr := recordMarch(t, march.MarchCMinus(), 16)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestProgramCacheRoundTrip(t *testing.T) {
 // bound.
 func TestProgramCacheBounded(t *testing.T) {
 	tr := recordMarch(t, march.MarchCMinus(), 8)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,8 +11,10 @@ import (
 	"repro/internal/telemetry"
 )
 
-// BatchSize is the number of machines simulated per replay pass — one
-// per bit of the lane words.
+// BatchSize is the number of machines simulated per lane word — one
+// per bit.  A replay pass simulates BatchSize machines per lane word
+// of its program (Program.BatchFaults), i.e. 64 for the classic
+// single-word configuration and 256/512 for wide-lane programs.
 const BatchSize = 64
 
 // Batchable reports whether every fault of the slice supports batch
@@ -27,13 +29,15 @@ func Batchable(faults []fault.Fault) bool {
 	return true
 }
 
-// shard partitions the view's faults into 64-machine batches
-// distributed across workers goroutines (0 = GOMAXPROCS) with an
-// atomic cursor.  Each goroutine calls newWorker once for its private
-// replay function (the compiled path hangs a reusable Arena off it,
-// returned through the done hook) and then replays one batch per
-// cursor claim.  Subset views gather each batch's fault headers into a
-// per-worker scratch and scatter the detection mask back by view
+// shard partitions the view's faults into batchFaults-machine batches
+// (64 per lane word of the replay target) distributed across workers
+// goroutines (0 = GOMAXPROCS) with an atomic cursor.  Each goroutine
+// calls newWorker once for its private replay function (the compiled
+// path hangs a reusable Arena off it, returned through the done hook)
+// and then replays one batch per cursor claim, the verdicts landing in
+// a per-worker multi-word detection mask (det[j/64] bit j%64 reports
+// batch fault j).  Subset views gather each batch's fault headers into
+// a per-worker scratch and scatter the detection mask back by view
 // position — the lane remap that lets cross-test fault dropping replay
 // only survivors; full views replay backing subslices directly, as
 // before.  detected[i] reports view fault i; every batch writes a
@@ -53,9 +57,10 @@ func Batchable(faults []fault.Fault) bool {
 // by errors.Is(err, context.Canceled/DeadlineExceeded).
 //
 //faultsim:hotpath
-func shard(ctx context.Context, v fault.View, workers int, newWorker func() (replay func(batch []fault.Fault) (uint64, error), done func())) ([]bool, int, error) {
+func shard(ctx context.Context, v fault.View, workers, batchFaults int, newWorker func() (replay func(batch []fault.Fault, det []uint64) error, done func())) ([]bool, int, error) {
 	n := v.Len()
-	batches := (n + BatchSize - 1) / BatchSize
+	batches := (n + batchFaults - 1) / batchFaults
+	maskWords := batchFaults / BatchSize
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -77,9 +82,10 @@ func shard(ctx context.Context, v fault.View, workers int, newWorker func() (rep
 			if done != nil {
 				defer done() //faultsim:alloc-ok worker-lifetime defer
 			}
+			det := make([]uint64, maskWords) //faultsim:alloc-ok per-worker detection mask, reused by every batch
 			var scratch []fault.Fault
 			if !v.Full() {
-				scratch = make([]fault.Fault, 0, BatchSize) //faultsim:alloc-ok per-worker scratch, reused by every batch
+				scratch = make([]fault.Fault, 0, batchFaults) //faultsim:alloc-ok per-worker scratch, reused by every batch
 			}
 			// Telemetry: counters accumulate in the plain Local and flush
 			// into the padded per-worker slot once per batch; with no
@@ -99,8 +105,8 @@ func shard(ctx context.Context, v fault.View, workers int, newWorker func() (rep
 					return
 				default:
 				}
-				lo := b * BatchSize
-				hi := lo + BatchSize
+				lo := b * batchFaults
+				hi := lo + batchFaults
 				if hi > n {
 					hi = n
 				}
@@ -108,7 +114,7 @@ func shard(ctx context.Context, v fault.View, workers int, newWorker func() (rep
 				if tw != nil {
 					t0 = time.Now()
 				}
-				mask, err := replay(v.Batch(scratch, lo, hi))
+				err := replay(v.Batch(scratch, lo, hi), det)
 				if tw != nil {
 					tl.KernelNanos += uint64(time.Since(t0))
 					tl.Batches++
@@ -122,7 +128,8 @@ func shard(ctx context.Context, v fault.View, workers int, newWorker func() (rep
 					return
 				}
 				for i := lo; i < hi; i++ {
-					detected[i] = mask>>uint(i-lo)&1 == 1
+					j := i - lo
+					detected[i] = det[j>>6]>>(uint(j)&63)&1 == 1
 				}
 			}
 		}(w)
@@ -153,9 +160,11 @@ func Shards(ctx context.Context, tr *Trace, faults []fault.Fault, workers int) (
 // survivors of earlier tests passes the narrowed view instead of
 // rebuilding fault slices.
 func ShardsView(ctx context.Context, tr *Trace, v fault.View, workers int) ([]bool, int, error) {
-	return shard(ctx, v, workers, func() (func([]fault.Fault) (uint64, error), func()) {
-		return func(batch []fault.Fault) (uint64, error) {
-			return ReplayBatch(tr, batch)
+	return shard(ctx, v, workers, BatchSize, func() (func([]fault.Fault, []uint64) error, func()) {
+		return func(batch []fault.Fault, det []uint64) error {
+			mask, err := ReplayBatch(tr, batch)
+			det[0] = mask
+			return err
 		}, nil
 	})
 }
@@ -172,10 +181,10 @@ func ShardsCompiled(ctx context.Context, p *Program, faults []fault.Fault, worke
 // slice, optionally drawing worker arenas from a pool so a session's
 // consecutive programs reuse them (nil builds fresh arenas).
 func ShardsCompiledView(ctx context.Context, p *Program, v fault.View, workers int, arenas *ArenaPool) ([]bool, int, error) {
-	return shard(ctx, v, workers, func() (func([]fault.Fault) (uint64, error), func()) {
+	return shard(ctx, v, workers, p.BatchFaults(), func() (func([]fault.Fault, []uint64) error, func()) {
 		a := arenas.Get(p)
-		return func(batch []fault.Fault) (uint64, error) {
-			return p.Replay(a, batch)
+		return func(batch []fault.Fault, det []uint64) error {
+			return p.ReplayInto(a, batch, det)
 		}, func() { arenas.Put(a) }
 	})
 }

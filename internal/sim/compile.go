@@ -35,25 +35,49 @@ import (
 
 // Instruction opcodes, stored in the top three bits of instr.opAddr.
 // The read-like opcodes (<= opFold) and write-like opcodes share their
-// kernel prologue, so the ordering is load-bearing.
+// kernel prologue, so the ordering is load-bearing.  opCheckWrite is
+// the fused super-op (read + check + literal write on one cell) and is
+// dispatched explicitly before the read/write split.
 const (
-	opRead    uint32 = iota // plain read: sense + hooks + history
-	opCheck                 // checked read: opRead + comparison against lanes
-	opFold                  // read folded into a signature observer (side table)
-	opWrite                 // broadcast write of a literal clean value
-	opAffine                // write recomputed from earlier reads (GF(2)-affine)
-	opObserve               // observer compare point (no memory access)
+	opRead       uint32 = iota // plain read: sense + hooks + history
+	opCheck                    // checked read: opRead + comparison against lanes
+	opFold                     // read folded into a signature observer (side table)
+	opWrite                    // broadcast write of a literal clean value
+	opAffine                   // write recomputed from earlier reads (GF(2)-affine)
+	opObserve                  // observer compare point (no memory access)
+	opCheckWrite               // fused checked read + literal write of one cell
 
 	opShift  = 29
 	addrMask = 1<<opShift - 1
 )
 
+// Lane-width configuration: a program simulates laneWords*64 machines
+// per batch.  1 word is the classic 64-machine batch; 4 and 8 words
+// (256/512 machines) amortize per-op dispatch, hook-flag checks and
+// per-batch arena resets over wider lane blocks.
+const MaxLaneWords = 8
+
+// ValidLaneWords reports whether w is a supported lane width (in
+// 64-machine words).
+func ValidLaneWords(w int) bool { return w == 1 || w == 4 || w == 8 }
+
+// LaneWordsForMachines maps a machines-per-batch count (64, 256, 512 —
+// the unit user-facing knobs speak) to lane words.
+func LaneWordsForMachines(machines int) (int, error) {
+	if machines%BatchSize != 0 || !ValidLaneWords(machines/BatchSize) {
+		return 0, fmt.Errorf("sim: unsupported lane width %d machines (want 64, 256 or 512)", machines)
+	}
+	return machines / BatchSize, nil
+}
+
 // instr is one compiled operation, packed to 16 bytes so large traces
-// stream through cache.  opAddr carries the opcode in its top two bits
-// and the cell index below.  lane indexes the program's lanePool
+// stream through cache.  opAddr carries the opcode in its top three
+// bits and the cell index below.  lane indexes the program's lanePool
 // (width words): the expected value for opCheck, the literal data for
 // opWrite, the affine offset for opAffine.  terms[t0:t0+tn] are the
-// affine terms of an opAffine.
+// affine terms of an opAffine.  A fused opCheckWrite keeps the
+// expected value in lane and reuses t0 (free: fused ops are never
+// affine) as the lanePool offset of the literal write data.
 type instr struct {
 	opAddr uint32
 	lane   int32 // offset into lanePool
@@ -65,7 +89,9 @@ type instr struct {
 // the cell in the low 28 bits — quartering the instruction stream the
 // width-1 kernel pulls through cache.  Affine ops keep their terms in
 // a side table (aff1) consumed in program order; folds and observes
-// consume the shared folds/observes tables, also in program order.
+// consume the shared folds/observes tables, also in program order, and
+// fused opCheckWrite ops pull their write bit from the fus1 side table
+// (the packed word only has room for the expected bit).
 const (
 	w1DataShift = 28
 	w1AddrMask  = 1<<w1DataShift - 1
@@ -108,6 +134,13 @@ type Program struct {
 	width   int
 	maxBack int
 
+	// laneWords is the lane-block width W in 64-machine words: every
+	// cell-bit owns W consecutive lane words, one batch simulates W*64
+	// machines.  Lane group g (machines [g*64, g*64+64)) is word g of
+	// each block, so each group in isolation has exactly the classic
+	// 64-lane shape the fault-model hooks were written against.
+	laneWords int
+
 	code     []instr
 	terms    []affTerm
 	lanePool []uint64
@@ -116,6 +149,12 @@ type Program struct {
 	// side table; empty for wider memories.
 	code1 []uint32
 	aff1  []affEntry
+
+	// fus1 holds the write bits of width-1 fused opCheckWrite ops,
+	// consumed in program order (the packed word carries only the
+	// expected bit).
+	fus1  []uint8
+	fused int // fused super-op count
 
 	// Observer state layout: folds/observes are consumed in program
 	// order by the kernels, rowPool holds the deduplicated step/tap
@@ -152,6 +191,17 @@ func (p *Program) Width() int { return p.width }
 // Ops returns the compiled instruction count.
 func (p *Program) Ops() int { return len(p.code) }
 
+// LaneWords returns the lane-block width W in 64-machine words.
+func (p *Program) LaneWords() int { return p.laneWords }
+
+// BatchFaults returns the machines simulated per replay pass:
+// laneWords*64.
+func (p *Program) BatchFaults() int { return p.laneWords * BatchSize }
+
+// FusedOps returns how many read-check-write sequences the compiler
+// collapsed into fused super-ops.
+func (p *Program) FusedOps() int { return p.fused }
+
 // TrimmedOps returns how many trailing trace ops the compiler dropped
 // because no checked read follows them.
 func (p *Program) TrimmedOps() int { return p.trimmed }
@@ -176,11 +226,21 @@ func (p *Program) appendLanes(w ram.Word) int32 {
 	return off
 }
 
-// Compile lowers a recorded trace into a Program.  It fails on traces
-// replay would also reject: no detection points (checked reads or
-// observer compares), an affine write referencing a read that never
-// happened, or a fold/observe of an unregistered observer.
-func Compile(tr *Trace) (*Program, error) {
+// Compile lowers a recorded trace into a Program simulating
+// laneWords*64 machines per batch (laneWords of 1, 4 or 8).  It fails
+// on traces replay would also reject: no detection points (checked
+// reads or observer compares), an affine write referencing a read that
+// never happened, or a fold/observe of an unregistered observer.
+//
+// Besides lowering, the compiler fuses each March-style
+// read-check-write sequence — a checked, unfolded read immediately
+// followed by a literal write of the same cell — into one opCheckWrite
+// super-op: one dispatch, one lane load, one compare, one store, where
+// the unfused stream pays two of each.
+func Compile(tr *Trace, laneWords int) (*Program, error) {
+	if !ValidLaneWords(laneWords) {
+		return nil, fmt.Errorf("sim: unsupported lane width %d words (want 1, 4 or 8)", laneWords)
+	}
 	if !tr.Replayable() {
 		return nil, fmt.Errorf("sim: trace has no checked reads or observer compares — the runner does not annotate for replay")
 	}
@@ -193,12 +253,13 @@ func Compile(tr *Trace) (*Program, error) {
 	ops := tr.Ops[:last+1]
 
 	p := &Program{
-		size:    tr.Size,
-		width:   tr.Width,
-		maxBack: tr.MaxBack,
-		code:    make([]instr, 0, len(ops)),
-		trimmed: len(tr.Ops) - len(ops),
-		expect:  make([]uint8, tr.Size*tr.Width),
+		size:      tr.Size,
+		width:     tr.Width,
+		maxBack:   tr.MaxBack,
+		laneWords: laneWords,
+		code:      make([]instr, 0, len(ops)),
+		trimmed:   len(tr.Ops) - len(ops),
+		expect:    make([]uint8, tr.Size*tr.Width),
 	}
 	// Observer accumulator layout: one contiguous arena buffer, offsets
 	// in registration order.
@@ -221,11 +282,17 @@ func Compile(tr *Trace) (*Program, error) {
 		rowIndex[key] = off
 		return off
 	}
-	p.initLanes = make([]uint64, tr.Size*tr.Width)
+	// initLanes layout (as for Arena.lanes): cell blocks of
+	// laneWords*width words, word (c*laneWords+g)*width+b holding lane
+	// group g of bit b — each group's block is contiguous per cell, so
+	// the 64-lane hook adapters address their group with one offset.
+	p.initLanes = make([]uint64, tr.Size*tr.Width*laneWords)
 	for c, w := range tr.Init {
 		for b := 0; b < tr.Width; b++ {
 			if w>>uint(b)&1 == 1 {
-				p.initLanes[c*tr.Width+b] = ^uint64(0)
+				for g := 0; g < laneWords; g++ {
+					p.initLanes[(c*laneWords+g)*tr.Width+b] = ^uint64(0)
+				}
 			}
 		}
 	}
@@ -240,8 +307,32 @@ func Compile(tr *Trace) (*Program, error) {
 	written := make([]bool, tr.Size)
 	distinct := 0
 	reads := 0
-	for i := range ops {
+	for i := 0; i < len(ops); i++ {
 		op := &ops[i]
+		// Op fusion: a checked, unfolded read immediately followed by a
+		// literal write of the same cell — the inner step of every March
+		// element — collapses into one opCheckWrite super-op.  The read
+		// still counts toward affine back distances and pushes history;
+		// the write still counts toward dense-trace detection.
+		if op.Kind == ram.OpRead && op.Checked && op.Fold == nil && i+1 < len(ops) {
+			if nxt := &ops[i+1]; nxt.Kind == ram.OpWrite && nxt.Lin == nil && nxt.Addr == op.Addr {
+				in := instr{opAddr: uint32(op.Addr) | opCheckWrite<<opShift}
+				in.lane = p.appendLanes(op.Data)
+				in.t0 = p.appendLanes(nxt.Data)
+				for b := 0; b < tr.Width; b++ {
+					p.expect[op.Addr*tr.Width+b] |= 1 << uint(op.Data>>uint(b)&1)
+				}
+				reads++
+				if !written[nxt.Addr] {
+					written[nxt.Addr] = true
+					distinct++
+				}
+				p.code = append(p.code, in)
+				p.fused++
+				i++
+				continue
+			}
+		}
 		in := instr{opAddr: uint32(op.Addr)}
 		switch {
 		case op.Kind == OpObserve:
@@ -318,7 +409,7 @@ func Compile(tr *Trace) (*Program, error) {
 	}
 	p.dense = 2*distinct >= tr.Size
 	if tr.Width == 1 {
-		p.pack1(ops)
+		p.pack1()
 	}
 	return p, nil
 }
@@ -334,35 +425,30 @@ func rowKey(rows []uint32) []byte {
 	return b
 }
 
-// pack1 builds the width-1 instruction stream: the data/expected bit
-// rides in the instruction word, affine term windows in a side table;
-// folds and observes consume the shared side tables in program order.
-func (p *Program) pack1(ops []Op) {
-	p.code1 = make([]uint32, 0, len(ops))
-	for i := range ops {
-		op := &ops[i]
-		oa := uint32(op.Addr)
-		switch {
-		case op.Kind == OpObserve:
-			oa = uint32(op.Addr) | opObserve<<opShift
-		case op.Kind == ram.OpRead && op.Fold != nil:
-			oa |= opFold << opShift
-			oa |= uint32(op.Data&1) << w1DataShift
-		case op.Kind == ram.OpRead:
-			if op.Checked {
-				oa |= opCheck << opShift
-				oa |= uint32(op.Data&1) << w1DataShift
-			}
-		case op.Lin == nil:
-			oa |= opWrite << opShift
-			oa |= uint32(op.Data&1) << w1DataShift
-		default:
-			oa |= opAffine << opShift
-			oa |= uint32(op.Lin.Offset&1) << w1DataShift
-			// The matching instr was just compiled by Compile; reuse
-			// its term window.
-			in := &p.code[i]
+// pack1 builds the width-1 instruction stream from the compiled (and
+// fused) code: the data/expected bit rides in the instruction word
+// (recovered from the instruction's lanePool entry — width 1, so one
+// broadcast word per entry), affine term windows in a side table,
+// fused write bits in fus1; folds and observes consume the shared side
+// tables in program order.
+func (p *Program) pack1() {
+	p.code1 = make([]uint32, 0, len(p.code))
+	bit := func(off int32) uint32 { return uint32(p.lanePool[off] & 1) }
+	for i := range p.code {
+		in := &p.code[i]
+		oa := in.opAddr
+		switch in.opAddr >> opShift {
+		case opRead, opObserve:
+			// No data bit: a plain read senses whatever is stored, an
+			// observe touches no memory.
+		case opAffine:
+			oa |= bit(in.lane) << w1DataShift
 			p.aff1 = append(p.aff1, affEntry{t0: in.t0, tn: in.tn})
+		case opCheckWrite:
+			oa |= bit(in.lane) << w1DataShift
+			p.fus1 = append(p.fus1, uint8(p.lanePool[in.t0]&1))
+		default: // opCheck, opFold, opWrite
+			oa |= bit(in.lane) << w1DataShift
 		}
 		p.code1 = append(p.code1, oa)
 	}

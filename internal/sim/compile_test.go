@@ -94,7 +94,7 @@ func recordObserver(t *testing.T, n, m int) *Trace {
 // per-batch interpreter.
 func assertCompiledMatchesReplayBatch(t *testing.T, tr *Trace, faults []fault.Fault) {
 	t.Helper()
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,15 +172,16 @@ func TestCompileTrimsSuffix(t *testing.T) {
 		{Kind: ram.OpWrite, Addr: n - 1, Data: 0},
 	}
 	tr.Ops = append(tr.Ops, tail...)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := trailing + len(tail); p.TrimmedOps() != want {
 		t.Fatalf("TrimmedOps = %d, want %d", p.TrimmedOps(), want)
 	}
-	if p.Ops() != len(tr.Ops)-trailing-len(tail) {
-		t.Fatalf("Ops = %d, want %d", p.Ops(), len(tr.Ops)-trailing-len(tail))
+	// Each fused super-op swallowed two trace ops into one instruction.
+	if p.Ops()+p.FusedOps() != len(tr.Ops)-trailing-len(tail) {
+		t.Fatalf("Ops+FusedOps = %d+%d, want %d", p.Ops(), p.FusedOps(), len(tr.Ops)-trailing-len(tail))
 	}
 	assertCompiledMatchesReplayBatch(t, tr, fault.SingleCellUniverse(n, 1))
 }
@@ -190,7 +191,7 @@ func TestCompileRejectsUnannotatedTrace(t *testing.T) {
 		{Kind: ram.OpWrite, Addr: 0, Data: 1},
 		{Kind: ram.OpRead, Addr: 0, Data: 1},
 	}}
-	if _, err := Compile(tr); err == nil {
+	if _, err := Compile(tr, 1); err == nil {
 		t.Fatal("expected an error for a trace with no checked reads")
 	}
 }
@@ -219,7 +220,7 @@ func TestReplaySteadyStateAllocatesNothing(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			p, err := Compile(tc.tr)
+			p, err := Compile(tc.tr, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -245,7 +246,7 @@ func TestReplaySteadyStateAllocatesNothing(t *testing.T) {
 func TestArenaResetRestoresExactState(t *testing.T) {
 	const n = 16
 	tr := recordMarch(t, march.MarchCMinus(), n)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestArenaResetRestoresExactState(t *testing.T) {
 func TestShardsCompiledMatchesAcrossWorkerCounts(t *testing.T) {
 	const n = 32
 	tr := recordMarch(t, march.MarchB(), n)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestShardsPropagateBatchErrors(t *testing.T) {
 	if _, _, err := Shards(context.Background(), tr, faults, 2); err == nil {
 		t.Fatal("Shards must propagate a failing batch")
 	}
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,8 +17,9 @@ import (
 // O(chunk × workers) — the universe size stops being a memory bound
 // and becomes pure simulation time.  Each worker owns one reusable
 // chunk buffer (plus, on the compiled path, its arena); chunks are
-// claimed from the source under a mutex, replayed as 64-machine
-// batches, and the per-chunk verdicts handed to a sink callback that
+// claimed from the source under a mutex, replayed as program-width
+// batches (64 machines per lane word), and the per-chunk verdicts
+// handed to a sink callback that
 // the driver serializes, so sinks need no locking of their own.
 // Chunk completion order is scheduling-dependent, but every chunk is
 // keyed by its universe index range, so any order-insensitive sink
@@ -81,27 +82,30 @@ func (c StreamConfig) workerCount() int {
 // StreamShard drives a streaming campaign over a generic replay
 // function: workers pull chunks from src, skip faults filtered by
 // cfg.Drop, replay the rest in 64-fault batches through their private
-// replay function, and deliver verdicts to sink.  It returns the
-// worker count and how many faults were simulated (after drop
-// filtering; collapsing on the compiled wrapper reduces it further).
+// replay function (det[0] receives the batch's detection mask), and
+// deliver verdicts to sink.  It returns the worker count and how many
+// faults were simulated (after drop filtering; collapsing on the
+// compiled wrapper reduces it further).
 //
 // Cancellation is cooperative at batch granularity: ctx is checked on
 // every chunk claim and between the chunk's batches, an interrupted
 // chunk is abandoned without reaching the sink (the sink only ever
 // sees complete chunks), workers drain, and the error is ctx.Err().
 func StreamShard(ctx context.Context, src fault.Source, cfg StreamConfig,
-	newWorker func() (replay func(batch []fault.Fault) (uint64, error), done func()),
+	newWorker func() (replay func(batch []fault.Fault, det []uint64) error, done func()),
 	sink ChunkSink) (int, int, error) {
-	return streamShard(ctx, src, cfg, nil, newWorker, sink)
+	return streamShard(ctx, src, cfg, nil, BatchSize, newWorker, sink)
 }
 
 // ShardsStream replays a recorded trace over a streaming universe with
 // the per-batch interpreter — the reference streaming path, mirroring
 // Shards.
 func ShardsStream(ctx context.Context, tr *Trace, src fault.Source, cfg StreamConfig, sink ChunkSink) (int, int, error) {
-	return streamShard(ctx, src, cfg, nil, func() (func([]fault.Fault) (uint64, error), func()) {
-		return func(batch []fault.Fault) (uint64, error) {
-			return ReplayBatch(tr, batch)
+	return streamShard(ctx, src, cfg, nil, BatchSize, func() (func([]fault.Fault, []uint64) error, func()) {
+		return func(batch []fault.Fault, det []uint64) error {
+			mask, err := ReplayBatch(tr, batch)
+			det[0] = mask
+			return err
 		}, nil
 	}, sink)
 }
@@ -119,20 +123,21 @@ func ShardsCompiledStream(ctx context.Context, p *Program, src fault.Source, cfg
 		sum = &s
 	}
 	arenas := cfg.Arenas
-	return streamShard(ctx, src, cfg, sum, func() (func([]fault.Fault) (uint64, error), func()) {
+	return streamShard(ctx, src, cfg, sum, p.BatchFaults(), func() (func([]fault.Fault, []uint64) error, func()) {
 		a := arenas.Get(p)
-		return func(batch []fault.Fault) (uint64, error) {
-			return p.Replay(a, batch)
+		return func(batch []fault.Fault, det []uint64) error {
+			return p.ReplayInto(a, batch, det)
 		}, func() { arenas.Put(a) }
 	}, sink)
 }
 
 // streamShard is the shared driver; sum non-nil enables per-chunk
-// structural collapsing.
+// structural collapsing; batchFaults is the machines per replay pass
+// (the replay function's det buffer gets one word per 64).
 //
 //faultsim:hotpath
-func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *fault.TraceSummary,
-	newWorker func() (func([]fault.Fault) (uint64, error), func()),
+func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *fault.TraceSummary, batchFaults int,
+	newWorker func() (func([]fault.Fault, []uint64) error, func()),
 	sink ChunkSink) (int, int, error) {
 	chunk := cfg.chunkSize()
 	workers := cfg.workerCount()
@@ -173,10 +178,11 @@ func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *f
 			if done != nil {
 				defer done() //faultsim:alloc-ok worker-lifetime defer
 			}
-			buf := make([]fault.Fault, chunk) //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
-			idx := make([]int, chunk)         //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
-			det := make([]bool, chunk)        //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
-			repDet := make([]bool, chunk)     //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
+			buf := make([]fault.Fault, chunk)             //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
+			idx := make([]int, chunk)                     //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
+			det := make([]bool, chunk)                    //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
+			repDet := make([]bool, chunk)                 //faultsim:alloc-ok per-worker chunk buffer, reused for every chunk
+			mask := make([]uint64, batchFaults/BatchSize) //faultsim:alloc-ok per-worker detection mask, reused for every batch
 			// Telemetry: worker-local counters, flushed into the padded
 			// per-worker slot once per chunk.  The source-claim and
 			// sink-acquire waits are timed separately from the kernel so a
@@ -239,7 +245,7 @@ func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *f
 				if tw != nil {
 					t0 = time.Now()
 				}
-				for lo := 0; lo < len(r); lo += BatchSize {
+				for lo := 0; lo < len(r); lo += batchFaults {
 					select {
 					case <-ctxDone:
 						// Abandon the chunk mid-replay: none of its verdicts
@@ -249,11 +255,11 @@ func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *f
 						return
 					default:
 					}
-					hi := lo + BatchSize
+					hi := lo + batchFaults
 					if hi > len(r) {
 						hi = len(r)
 					}
-					mask, err := replay(r[lo:hi])
+					err := replay(r[lo:hi], mask)
 					if err != nil {
 						errs[w] = err
 						stop.Store(true)
@@ -261,12 +267,13 @@ func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *f
 						break
 					}
 					for i := lo; i < hi; i++ {
-						rd[i] = mask>>uint(i-lo)&1 == 1
+						j := i - lo
+						rd[i] = mask[j>>6]>>(uint(j)&63)&1 == 1
 					}
 				}
 				if tw != nil {
 					tl.KernelNanos += uint64(time.Since(t0))
-					tl.Batches += uint64((len(r) + BatchSize - 1) / BatchSize)
+					tl.Batches += uint64((len(r) + batchFaults - 1) / batchFaults)
 					tl.Reps += uint64(len(r))
 				}
 				if failed {

@@ -41,7 +41,7 @@ func (c *collectSink) indices() []int {
 func TestStreamDriversMatchShardDrivers(t *testing.T) {
 	const n = 33
 	tr := recordMarch(t, march.MarchCMinus(), n)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestStreamDriversMatchShardDrivers(t *testing.T) {
 func TestStreamDropFilter(t *testing.T) {
 	const n = 17
 	tr := recordMarch(t, march.MATSPlus(), n)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ type failInjector struct{ fault.Fault }
 func TestStreamErrorStops(t *testing.T) {
 	const n = 16
 	tr := recordMarch(t, march.MATSPlus(), n)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@ import (
 func TestStreamTelemetryCounters(t *testing.T) {
 	const n = 33
 	tr := recordMarch(t, march.MarchCMinus(), n)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestStreamTelemetryCounters(t *testing.T) {
 func TestStreamTelemetryRace(t *testing.T) {
 	const n = 32
 	tr := recordMarch(t, march.MarchB(), n)
-	p, err := Compile(tr)
+	p, err := Compile(tr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
