@@ -33,6 +33,13 @@
 // generous threshold for single-shot CI benches: the gate is there to
 // catch order-of-magnitude cliffs (an accidental oracle fallback, a
 // serialization bottleneck), not 10% noise.
+//
+// -max-regress-per-bench 'REGEX=THRESHOLD[,REGEX=THRESHOLD...]'
+// overrides the global threshold for matching benchmark names (first
+// match wins; each entry splits on its last '=', so regexes like
+// "Parallel/n=256" work unquoted).  Without -max-regress, only the
+// benchmarks an override matches are gated — the tool's way of saying
+// "this benchmark is the one this PR optimized; hold it tighter".
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -172,10 +180,54 @@ func parseThreshold(s string) (float64, error) {
 	return v, nil
 }
 
+// perBenchRule binds a benchmark-name regexp to its own regression
+// threshold, overriding the global -max-regress value.
+type perBenchRule struct {
+	re        *regexp.Regexp
+	threshold float64
+}
+
+// parsePerBench parses the -max-regress-per-bench value: comma-
+// separated REGEX=THRESHOLD overrides.  Each entry is split on its
+// LAST '=' so sub-benchmark regexes like "Parallel/n=256" keep their
+// own '='s; thresholds take the same forms as -max-regress.
+func parsePerBench(s string) ([]perBenchRule, error) {
+	var rules []perBenchRule
+	for _, part := range strings.Split(s, ",") {
+		eq := strings.LastIndexByte(part, '=')
+		if eq <= 0 || eq == len(part)-1 {
+			return nil, fmt.Errorf("bad override %q: want REGEX=THRESHOLD", part)
+		}
+		re, err := regexp.Compile(part[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("bad override %q: %v", part, err)
+		}
+		th, err := parseThreshold(part[eq+1:])
+		if err != nil {
+			return nil, fmt.Errorf("bad override %q: %v", part, err)
+		}
+		rules = append(rules, perBenchRule{re, th})
+	}
+	return rules, nil
+}
+
+// thresholdFor resolves a benchmark's effective regression limit: the
+// first matching per-bench override wins, else the global threshold.
+// Zero means the benchmark is not gated (a global of 0 with overrides
+// gates only the benchmarks an override matches).
+func thresholdFor(name string, global float64, rules []perBenchRule) float64 {
+	for _, r := range rules {
+		if r.re.MatchString(name) {
+			return r.threshold
+		}
+	}
+	return global
+}
+
 // regressions returns one line per benchmark shared by old and current
-// whose faults/s dropped by more than threshold (a fraction of the old
-// value), sorted by name.
-func regressions(old, current []Entry, threshold float64) []string {
+// whose faults/s dropped by more than its effective threshold (a
+// fraction of the old value), sorted by name.
+func regressions(old, current []Entry, global float64, rules []perBenchRule) []string {
 	prev := make(map[string]Entry, len(old))
 	for _, e := range old {
 		prev[e.Name] = e
@@ -195,6 +247,10 @@ func regressions(old, current []Entry, threshold float64) []string {
 		if _, ok := e.Metrics["faults/s"]; !ok {
 			continue
 		}
+		threshold := thresholdFor(e.Name, global, rules)
+		if threshold <= 0 {
+			continue
+		}
 		if drop := (was - now) / was; drop > threshold {
 			lines = append(lines, fmt.Sprintf("  %s: faults/s %.3g → %.3g (-%.1f%%, limit -%.1f%%)",
 				e.Name, was, now, 100*drop, 100*threshold))
@@ -207,6 +263,7 @@ func main() {
 	assertNames := flag.String("assert-names", "", "baseline JSON file; exit nonzero when any of its benchmark names is missing from stdin's results")
 	compare := flag.String("compare", "", "old benchjson artifact; print per-metric percentage deltas of the current results against it on stderr (advisory unless -max-regress is set)")
 	maxRegress := flag.String("max-regress", "", "with -compare: exit nonzero when any shared benchmark's faults/s dropped by more than this fraction (\"0.5\") or percentage (\"50%\")")
+	maxRegressPerBench := flag.String("max-regress-per-bench", "", "comma-separated REGEX=THRESHOLD overrides of -max-regress for matching benchmark names (first match wins), e.g. 'Parallel/n=256=0.3,Session=40%'")
 	flag.Parse()
 	var threshold float64
 	if *maxRegress != "" {
@@ -217,6 +274,18 @@ func main() {
 		var err error
 		if threshold, err = parseThreshold(*maxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: -max-regress: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var perBench []perBenchRule
+	if *maxRegressPerBench != "" {
+		if *compare == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -max-regress-per-bench requires -compare")
+			os.Exit(2)
+		}
+		var err error
+		if perBench, err = parsePerBench(*maxRegressPerBench); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -max-regress-per-bench: %v\n", err)
 			os.Exit(2)
 		}
 	}
@@ -263,9 +332,9 @@ func main() {
 						fmt.Fprintln(os.Stderr, l)
 					}
 				}
-				if threshold > 0 {
-					if lines := regressions(old, entries, threshold); len(lines) > 0 {
-						fmt.Fprintf(os.Stderr, "benchjson: faults/s regressed beyond -max-regress %s:\n", *maxRegress)
+				if threshold > 0 || len(perBench) > 0 {
+					if lines := regressions(old, entries, threshold, perBench); len(lines) > 0 {
+						fmt.Fprintf(os.Stderr, "benchjson: faults/s regressed beyond its limit:\n")
 						for _, l := range lines {
 							fmt.Fprintln(os.Stderr, l)
 						}

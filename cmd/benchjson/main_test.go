@@ -145,20 +145,107 @@ func TestRegressions(t *testing.T) {
 		{Name: "ZeroOld", Metrics: map[string]float64{"faults/s": 5}},
 		{Name: "OnlyNew", Metrics: map[string]float64{"faults/s": 1}},
 	}
-	lines := regressions(old, cur, 0.5)
+	lines := regressions(old, cur, 0.5, nil)
 	if len(lines) != 1 || !strings.Contains(lines[0], "A:") || !strings.Contains(lines[0], "-70.0%") {
 		t.Errorf("regressions = %q, want exactly A at -70.0%%", lines)
 	}
 	// A tighter threshold catches B too; exactly-at-threshold does not
 	// trip (the gate is strictly greater-than).
-	if lines := regressions(old, cur, 0.3); len(lines) != 2 {
+	if lines := regressions(old, cur, 0.3, nil); len(lines) != 2 {
 		t.Errorf("threshold 0.3: %q, want A and B", lines)
 	}
-	if lines := regressions(old, cur, 0.4); len(lines) != 1 {
+	if lines := regressions(old, cur, 0.4, nil); len(lines) != 1 {
 		t.Errorf("threshold 0.4 (B sits exactly at -40%%): %q, want only A", lines)
 	}
-	if lines := regressions(old, cur, 0.9); len(lines) != 0 {
+	if lines := regressions(old, cur, 0.9, nil); len(lines) != 0 {
 		t.Errorf("generous threshold: %q, want none", lines)
+	}
+}
+
+func TestParsePerBench(t *testing.T) {
+	rules, err := parsePerBench("Parallel/n=256=0.3,Session=40%")
+	if err != nil {
+		t.Fatalf("parsePerBench: %v", err)
+	}
+	if len(rules) != 2 || rules[0].threshold != 0.3 || rules[1].threshold != 0.4 {
+		t.Fatalf("rules = %+v", rules)
+	}
+	// The regex keeps its own '='s: only the last one splits.
+	if !rules[0].re.MatchString("CampaignParallel/n=256/sink=unordered/w=16") {
+		t.Error("rule 0 regex lost its '=' (split on the wrong '=')")
+	}
+	if rules[0].re.MatchString("CampaignParallel/n=1024") {
+		t.Error("rule 0 regex matches the wrong n")
+	}
+	for _, in := range []string{
+		"",              // empty entry
+		"NoThreshold",   // no '=' at all
+		"Bench=",        // empty threshold
+		"=0.5",          // empty regex
+		"Bench=1.5",     // threshold out of (0, 1]
+		"Bench=abc",     // non-numeric threshold
+		"a(=0.5",        // regex does not compile
+		"Good=0.5,Bad=", // one bad entry poisons the list
+	} {
+		if _, err := parsePerBench(in); err == nil {
+			t.Errorf("parsePerBench(%q): expected an error", in)
+		}
+	}
+}
+
+func TestThresholdFor(t *testing.T) {
+	rules, err := parsePerBench("Parallel=0.2,Campaign=0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First match wins, even when a later rule also matches.
+	if got := thresholdFor("CampaignParallel/n=256", 0.5, rules); got != 0.2 {
+		t.Errorf("first-match threshold = %v, want 0.2", got)
+	}
+	if got := thresholdFor("Campaign/n=1024", 0.5, rules); got != 0.7 {
+		t.Errorf("override threshold = %v, want 0.7", got)
+	}
+	// No match falls back to the global; a zero global means ungated.
+	if got := thresholdFor("Session/n=1024", 0.5, rules); got != 0.5 {
+		t.Errorf("fallback threshold = %v, want 0.5", got)
+	}
+	if got := thresholdFor("Session/n=1024", 0, rules); got != 0 {
+		t.Errorf("ungated threshold = %v, want 0", got)
+	}
+}
+
+func TestRegressionsPerBench(t *testing.T) {
+	old := []Entry{
+		{Name: "CampaignParallel/n=256/w=16", Metrics: map[string]float64{"faults/s": 1e6}},
+		{Name: "Session/n=1024", Metrics: map[string]float64{"faults/s": 1e6}},
+	}
+	cur := []Entry{
+		{Name: "CampaignParallel/n=256/w=16", Metrics: map[string]float64{"faults/s": 7e5}}, // -30%
+		{Name: "Session/n=1024", Metrics: map[string]float64{"faults/s": 7e5}},              // -30%
+	}
+	rules, err := parsePerBench("Parallel/n=256=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The override holds Parallel to 20% while the global 50% lets the
+	// same-sized Session drop pass.
+	lines := regressions(old, cur, 0.5, rules)
+	if len(lines) != 1 || !strings.Contains(lines[0], "CampaignParallel") {
+		t.Errorf("override gate: %q, want only CampaignParallel", lines)
+	}
+	// Overrides without a global gate only what they match.
+	lines = regressions(old, cur, 0, rules)
+	if len(lines) != 1 || !strings.Contains(lines[0], "CampaignParallel") {
+		t.Errorf("override-only gate: %q, want only CampaignParallel", lines)
+	}
+	// A loose override can also exempt a benchmark from a tight global.
+	loose, err := parsePerBench("Parallel=90%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = regressions(old, cur, 0.2, loose)
+	if len(lines) != 1 || !strings.Contains(lines[0], "Session") {
+		t.Errorf("loosening override: %q, want only Session", lines)
 	}
 }
 

@@ -20,6 +20,21 @@
 //	faultcov -debug-addr :6060  # /metrics + /debug/pprof while running
 //	faultcov -exp e17 -checkpoint run.fckp            # durable campaign
 //	faultcov -exp e17 -checkpoint run.fckp -resume    # continue after a kill
+//	faultcov -exp e17 -partition 2/3 -checkpoint p2.fckp  # one universe shard
+//	faultcov -merge p1.fckp p2.fckp p3.fckp           # combine shard results
+//
+// -partition i/N restricts every streaming campaign session to the
+// i-th of N near-equal index ranges of its fault universe, so N
+// faultcov processes (or machines) can split one campaign.  It
+// requires -checkpoint: the per-partition checkpoint file is the
+// partition's output artifact.  -merge validates that the named
+// checkpoint files are completed partitions of the same campaign
+// (identical spec hash, seed and memory geometry; ranges tiling the
+// universe with no gap or overlap), ORs their detection bitmaps, sums
+// their tallies, and prints the combined result tables — byte-
+// identical to the tables -merge prints for a single unpartitioned
+// checkpoint of the same campaign.  With -checkpoint the merged state
+// is also written to that file.
 //
 // -checkpoint makes the streaming campaign sessions durable: the
 // session state (per-stage tallies, the cumulative detection bitmap
@@ -81,11 +96,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -93,6 +110,7 @@ import (
 	"repro"
 	"repro/internal/checkpoint"
 	"repro/internal/coverage"
+	"repro/internal/fault"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -167,6 +185,8 @@ func main() {
 	checkpointPath := flag.String("checkpoint", "", "write streaming-campaign checkpoints atomically to this file (enables durable campaigns)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in universe faults (0 = the package default; requires -checkpoint)")
 	resume := flag.Bool("resume", false, "resume the campaign from the -checkpoint file if it exists")
+	partitionFlag := flag.String("partition", "", "run only one index-range shard of each streaming campaign, format i/N (1-based, N >= 2; requires -checkpoint; combine the shard checkpoints with -merge)")
+	merge := flag.Bool("merge", false, "merge completed partition checkpoint files (the positional arguments) and print the combined result tables; -checkpoint writes the merged state to that file")
 	flag.Parse()
 	exhaustiveCFSizes = *exhaustiveCF
 
@@ -193,6 +213,23 @@ func main() {
 	if *resume && *checkpointPath == "" {
 		fail("-resume requires -checkpoint")
 	}
+	partIdx, partCnt := 0, 0
+	if *partitionFlag != "" {
+		if *merge {
+			fail("-partition and -merge are mutually exclusive (run the partitions first, then merge their checkpoints)")
+		}
+		var ok bool
+		partIdx, partCnt, ok = parsePartition(*partitionFlag)
+		if !ok {
+			fail("-partition wants i/N with integers 1 <= i <= N and N >= 2 (got %q); e.g. -partition 2/3", *partitionFlag)
+		}
+		if *checkpointPath == "" {
+			fail("-partition requires -checkpoint: the per-partition checkpoint file is the shard's output (combine them with faultcov -merge)")
+		}
+	}
+	if *merge && *resume {
+		fail("-resume is meaningless with -merge (with -merge, -checkpoint names the output file)")
+	}
 	laneWords, err := sim.LaneWordsForMachines(*lanes)
 	if err != nil {
 		fail("-lanes: %v", err)
@@ -212,12 +249,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faultcov: unknown format %q (want text, csv or json)\n", *format)
 		os.Exit(2)
 	}
+	if *merge {
+		mergeCheckpoints(flag.Args(), *checkpointPath, *format, fail)
+		return
+	}
 	coverage.SetDefaultEngine(eng)
 	coverage.SetDefaultWorkers(*workers)
 	coverage.SetCollapse(*collapse)
 	coverage.SetDefaultDrop(*drop)
 	coverage.SetDefaultChunk(*chunk)
 	coverage.SetDefaultLaneWords(laneWords)
+	if partCnt > 0 {
+		coverage.SetDefaultPartition(partIdx, partCnt)
+	}
 	repro.SetSampleSeed(*seed)
 
 	// SIGINT/SIGTERM cancel the campaign context: in-flight stages drain
@@ -249,7 +293,7 @@ func main() {
 				coverage.SetDefaultResume(st)
 				resumeOffered = true
 				fmt.Fprintf(os.Stderr, "# resuming from %s (%q)\n", *checkpointPath, st.Label)
-			case os.IsNotExist(err):
+			case errors.Is(err, os.ErrNotExist):
 				fmt.Fprintf(os.Stderr, "# no checkpoint at %s yet; starting fresh\n", *checkpointPath)
 			default:
 				fail("-resume: %v", err)
@@ -326,8 +370,12 @@ func main() {
 		seedLabel = fmt.Sprintf("%d", *seed)
 	}
 	if *format == "text" {
-		fmt.Printf("# engine=%s workers=%d lanes=%d collapse=%v drop=%v seed=%s chunk=%d\n\n",
-			eng, effWorkers, *lanes, *collapse, *drop, seedLabel, coverage.DefaultChunk())
+		partLabel := ""
+		if partCnt > 0 {
+			partLabel = fmt.Sprintf(" partition=%d/%d", partIdx, partCnt)
+		}
+		fmt.Printf("# engine=%s workers=%d lanes=%d collapse=%v drop=%v seed=%s chunk=%d%s\n\n",
+			eng, effWorkers, *lanes, *collapse, *drop, seedLabel, coverage.DefaultChunk(), partLabel)
 	}
 
 	id := strings.ToLower(*exp)
@@ -366,4 +414,85 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faultcov: checkpoint %s matched no campaign session of this run (wrong -exp or flags?)\n", *checkpointPath)
 		os.Exit(1)
 	}
+}
+
+// parsePartition parses the -partition flag's i/N shard selector.
+// Only 1 <= i <= N with N >= 2 is a valid selector — N=1 is just an
+// unpartitioned run, so it is refused rather than silently ignored.
+func parsePartition(s string) (i, n int, ok bool) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, false
+	}
+	i, err1 := strconv.Atoi(s[:slash])
+	n, err2 := strconv.Atoi(s[slash+1:])
+	if err1 != nil || err2 != nil || n < 2 || i < 1 || i > n {
+		return 0, 0, false
+	}
+	return i, n, true
+}
+
+// mergeCheckpoints is the -merge mode: load the named partition
+// checkpoint files, combine them (checkpoint.Merge validates that they
+// are completed shards of one campaign tiling its universe), print the
+// combined result tables in the selected format, and — when outPath is
+// set — write the merged state as a full-universe checkpoint.  The
+// tables are rendered from the merged State alone, so merging N
+// partition files and "merging" the single checkpoint of an
+// unpartitioned run of the same campaign print byte-identical output.
+func mergeCheckpoints(paths []string, outPath, format string, fail func(string, ...any)) {
+	if len(paths) == 0 {
+		fail("-merge needs the partition checkpoint files as arguments, e.g. faultcov -merge part1.fckp part2.fckp part3.fckp")
+	}
+	states := make([]*checkpoint.State, len(paths))
+	for i, p := range paths {
+		st, err := checkpoint.Load(p)
+		if err != nil {
+			fail("-merge: %s: %v", p, err)
+		}
+		states[i] = st
+	}
+	merged, err := checkpoint.Merge(states)
+	if err != nil {
+		fail("-merge: %v", err)
+	}
+	if outPath != "" {
+		if err := checkpoint.WriteAtomic(outPath, merged); err != nil {
+			fail("-merge: writing %s: %v", outPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "# merged %d checkpoint(s) into %s\n", len(paths), outPath)
+	}
+	for _, t := range mergeTables(merged) {
+		switch format {
+		case "csv":
+			t.CSV(os.Stdout)
+		case "json":
+			t.JSONL(os.Stdout)
+		default:
+			t.Render(os.Stdout)
+		}
+		if format != "json" {
+			fmt.Println()
+		}
+	}
+}
+
+// mergeTables renders a merged State's result tables: the per-stage
+// campaign outcome and the per-fault-class universe tally.  Everything
+// comes from the State, so the output is deterministic.
+func mergeTables(s *checkpoint.State) []*report.Table {
+	stages := report.New(
+		fmt.Sprintf("Merged campaign: %d universe faults, %d stage(s) [%s]", s.UniverseN, len(s.Done), s.Label),
+		"stage", "entered", "detected", "coverage", "survivors")
+	for _, r := range s.Done {
+		stages.AddRow(r.Runner, r.Entered, r.Detected,
+			report.Percent(int(r.Detected), int(r.Entered)), r.Survivors)
+	}
+	classes := report.New("Merged universe by fault class",
+		"class", "total", "detected", "coverage")
+	for _, ct := range s.Universe {
+		classes.AddRow(fault.Class(ct.Class).String(), ct.Total, ct.Detected,
+			report.Percent(int(ct.Detected), int(ct.Total)))
+	}
+	return []*report.Table{stages, classes}
 }

@@ -24,7 +24,7 @@ import (
 // rather than misparsing them.
 const (
 	magic   = "FCKP"
-	version = 1
+	version = 2 // v2 added the partition range (PartitionLo/PartitionHi)
 )
 
 // castagnoli is the CRC-32C table used for the trailer checksum (the
@@ -94,6 +94,15 @@ type State struct {
 	Seed     int64
 	Size     int32
 	Width    int32
+	// PartitionLo/PartitionHi are the universe index range [lo, hi)
+	// this state covers when the session ran one partition of a
+	// distributed campaign.  An unpartitioned (full-universe) state
+	// writes the sentinel (0, -1): any negative PartitionHi means the
+	// state spans [0, UniverseN).  Partition states are the inputs of
+	// Merge; resume refuses a partition-range mismatch like any other
+	// geometry mismatch.
+	PartitionLo int64
+	PartitionHi int64
 	// Label is a human-readable summary of the writing invocation
 	// (CLI flags), carried for error messages only — it is not part of
 	// the match.
@@ -142,6 +151,16 @@ func (s *State) Matches(specHash uint64, size, width int, seed int64) bool {
 		s.Size == int32(size) && s.Width == int32(width) && s.Seed == seed
 }
 
+// PartitionRange returns the universe index range [lo, hi) this state
+// covers.  partitioned is false for a full-universe state (negative
+// PartitionHi), in which case the range is [0, UniverseN).
+func (s *State) PartitionRange() (lo, hi int64, partitioned bool) {
+	if s.PartitionHi >= 0 {
+		return s.PartitionLo, s.PartitionHi, true
+	}
+	return 0, s.UniverseN, false
+}
+
 // enc is a little-endian append-only encoder.
 type enc struct{ b []byte }
 
@@ -187,6 +206,8 @@ func (s *State) Encode() []byte {
 	e.i64(s.Seed)
 	e.u32(uint32(s.Size))
 	e.u32(uint32(s.Width))
+	e.i64(s.PartitionLo)
+	e.i64(s.PartitionHi)
 	e.str(s.Label)
 	e.i64(s.UniverseN)
 	e.u32(uint32(len(s.StageNames)))
@@ -303,11 +324,13 @@ func Decode(b []byte) (*State, error) {
 		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, version)
 	}
 	s := &State{
-		SpecHash: d.u64(),
-		Seed:     d.i64(),
-		Size:     int32(d.u32()),
-		Width:    int32(d.u32()),
-		Label:    d.str(),
+		SpecHash:    d.u64(),
+		Seed:        d.i64(),
+		Size:        int32(d.u32()),
+		Width:       int32(d.u32()),
+		PartitionLo: d.i64(),
+		PartitionHi: d.i64(),
+		Label:       d.str(),
 	}
 	s.UniverseN = d.i64()
 	if n := d.count(); !d.bad {

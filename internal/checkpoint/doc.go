@@ -27,6 +27,27 @@
 // tests assert across universe families, engines and interrupt
 // points.
 //
+// # Partitioned campaigns and Merge
+//
+// A State also records the universe index range [PartitionLo,
+// PartitionHi) its session covered.  Full-universe sessions write the
+// sentinel (0, -1) — any negative PartitionHi reads as "spans [0,
+// UniverseN)" — while a partitioned session (one shard of a
+// distributed campaign, `faultcov -partition i/N`) records its exact
+// subrange; resume refuses a partition-range mismatch like any other
+// geometry mismatch.  Merge reassembles completed partition states
+// into the full-universe state: it validates that every input is
+// Complete, that all inputs agree on spec hash, seed, geometry and
+// stage set, and that the ranges tile [0, UniverseN) with no gap or
+// overlap (ErrMergeIncomplete, ErrMergeSpec, ErrMergeStages,
+// ErrMergeGap, ErrMergeOverlap are each distinct, errors.Is-testable
+// refusals); then it sums the stage and universe tallies and ORs the
+// detection bitmaps.  Because per-fault outcomes are independent of
+// which partition simulated them, the merged state is byte-identical
+// to the final checkpoint of an unpartitioned run of the same
+// campaign — the coverage partition property tests and the CI
+// multi-process smoke both diff the encoded files directly.
+//
 // # File format and failure model
 //
 // The encoding is little-endian, length-prefixed, magic "FCKP" +

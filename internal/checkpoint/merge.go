@@ -1,0 +1,165 @@
+// Merging per-partition checkpoints into the single-process state.
+// Merge output is deterministic: the same inputs (in any order) always
+// produce the same merged bytes, and merging the final checkpoints of
+// a fully partitioned run reproduces the unpartitioned run's final
+// checkpoint exactly — the property the distributed-campaign tests
+// byte-diff.
+//
+//faultsim:deterministic
+
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Merge refusal errors.  Each failure mode is a distinct sentinel so
+// callers (and tests) can tell a spec mismatch from a bad tiling.
+var (
+	// ErrMergeIncomplete reports a merge input whose session did not
+	// run to completion — partial partitions have no well-defined
+	// merged result.
+	ErrMergeIncomplete = errors.New("checkpoint: merge input is not a complete run")
+	// ErrMergeSpec reports merge inputs that disagree on the campaign
+	// specification fingerprint, memory geometry, or sampling seed.
+	ErrMergeSpec = errors.New("checkpoint: merge inputs disagree on campaign spec/geometry/seed")
+	// ErrMergeStages reports merge inputs whose stage sets diverged —
+	// different stage names, order, or runner bindings.
+	ErrMergeStages = errors.New("checkpoint: merge inputs disagree on stage set")
+	// ErrMergeOverlap reports partition ranges that overlap.
+	ErrMergeOverlap = errors.New("checkpoint: partition ranges overlap")
+	// ErrMergeGap reports partition ranges that leave part of the
+	// universe uncovered.
+	ErrMergeGap = errors.New("checkpoint: partition ranges leave a gap")
+)
+
+// Merge combines the final checkpoints of a partitioned campaign into
+// the state the equivalent single-process run would have written.
+// Every input must be Complete and written by the same campaign
+// specification (spec hash, geometry, seed, stage set); the partition
+// ranges must tile the universe exactly — first range starting at 0,
+// each next range starting where the previous ended.  Tallies are
+// summed, detection bitmaps OR'd (partitions cover disjoint index
+// ranges, so the union is exact), and the merged state is marked
+// full-universe.  A single full-universe input merges to itself.
+func Merge(states []*State) (*State, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("%w: no inputs", ErrMergeGap)
+	}
+	ref := states[0]
+	for i, s := range states {
+		if !s.Complete {
+			return nil, fmt.Errorf("%w (input %d: %q)", ErrMergeIncomplete, i, s.Label)
+		}
+		if !s.Matches(ref.SpecHash, int(ref.Size), int(ref.Width), ref.Seed) {
+			return nil, fmt.Errorf("%w (input %d: %q)", ErrMergeSpec, i, s.Label)
+		}
+		if err := sameStages(ref, s); err != nil {
+			return nil, fmt.Errorf("%w (input %d: %q)", err, i, s.Label)
+		}
+	}
+	// Validate the tiling on the sorted ranges.
+	order := make([]*State, len(states))
+	copy(order, states)
+	sort.SliceStable(order, func(i, j int) bool {
+		li, _, _ := order[i].PartitionRange()
+		lj, _, _ := order[j].PartitionRange()
+		return li < lj
+	})
+	var next int64
+	for _, s := range order {
+		lo, hi, _ := s.PartitionRange()
+		if hi-lo != s.UniverseN {
+			return nil, fmt.Errorf("%w (input %q covers [%d,%d) but enumerated %d faults)",
+				ErrMergeGap, s.Label, lo, hi, s.UniverseN)
+		}
+		if lo < next {
+			return nil, fmt.Errorf("%w ([%d,%d) begins before %d)", ErrMergeOverlap, lo, hi, next)
+		}
+		if lo > next {
+			return nil, fmt.Errorf("%w ([%d,%d) uncovered)", ErrMergeGap, next, lo)
+		}
+		next = hi
+	}
+	out := &State{
+		SpecHash:    ref.SpecHash,
+		Seed:        ref.Seed,
+		Size:        ref.Size,
+		Width:       ref.Width,
+		PartitionLo: 0,
+		PartitionHi: -1,
+		Label:       ref.Label,
+		UniverseN:   next,
+		StageNames:  append([]string(nil), ref.StageNames...),
+		HighWater:   0,
+		Complete:    true,
+	}
+	out.Done = make([]StageRecord, len(ref.Done))
+	for si := range ref.Done {
+		rec := StageRecord{
+			Runner:      ref.Done[si].Runner,
+			RunnerIndex: ref.Done[si].RunnerIndex,
+		}
+		var classes []ClassTally
+		for _, s := range order {
+			rec.Entered += s.Done[si].Entered
+			rec.Detected += s.Done[si].Detected
+			rec.Survivors += s.Done[si].Survivors
+			classes = sumTallies(classes, s.Done[si].ByClass)
+		}
+		rec.ByClass = classes
+		out.Done[si] = rec
+	}
+	var bits []uint64
+	for _, s := range order {
+		out.Universe = sumTallies(out.Universe, s.Universe)
+		for len(bits) < len(s.Bits) {
+			bits = append(bits, 0)
+		}
+		for i, w := range s.Bits {
+			bits[i] |= w
+		}
+	}
+	out.Bits = bits
+	return out, nil
+}
+
+// sameStages checks that two states describe the same stage set: same
+// stage names in the same order, and — for complete states — the same
+// runner bindings per completed stage.
+func sameStages(a, b *State) error {
+	if len(a.StageNames) != len(b.StageNames) || len(a.Done) != len(b.Done) {
+		return ErrMergeStages
+	}
+	for i := range a.StageNames {
+		if a.StageNames[i] != b.StageNames[i] {
+			return ErrMergeStages
+		}
+	}
+	for i := range a.Done {
+		if a.Done[i].Runner != b.Done[i].Runner || a.Done[i].RunnerIndex != b.Done[i].RunnerIndex {
+			return ErrMergeStages
+		}
+	}
+	return nil
+}
+
+// sumTallies folds src's per-class tallies into dst (both sorted by
+// class), keeping the result sorted so merged states encode
+// deterministically.
+func sumTallies(dst, src []ClassTally) []ClassTally {
+	for _, t := range src {
+		i := sort.Search(len(dst), func(i int) bool { return dst[i].Class >= t.Class })
+		if i < len(dst) && dst[i].Class == t.Class {
+			dst[i].Total += t.Total
+			dst[i].Detected += t.Detected
+			continue
+		}
+		dst = append(dst, ClassTally{})
+		copy(dst[i+1:], dst[i:])
+		dst[i] = t
+	}
+	return dst
+}

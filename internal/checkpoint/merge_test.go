@@ -1,0 +1,173 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// partitionState builds the final checkpoint partition [lo, hi) of a
+// synthetic 3-stage campaign would write: deterministic per-range
+// tallies so merged sums are easy to predict.
+func partitionState(lo, hi int64) *State {
+	n := hi - lo
+	s := &State{
+		SpecHash:    Hash("universe", "a", "b", "compiled"),
+		Seed:        7,
+		Size:        512,
+		Width:       2,
+		PartitionLo: lo,
+		PartitionHi: hi,
+		Label:       "faultcov -exp e17 -seed 7",
+		UniverseN:   n,
+		StageNames:  []string{"MATS+", "March C-"},
+		Done: []StageRecord{
+			{Runner: "MATS+", RunnerIndex: 0, Entered: n, Detected: n / 2, Survivors: n - n/2,
+				ByClass: []ClassTally{{Class: 0, Total: n, Detected: n / 2}}},
+			{Runner: "March C-", RunnerIndex: 1, Entered: n - n/2, Detected: n / 4, Survivors: n - n/2 - n/4,
+				ByClass: []ClassTally{{Class: 0, Total: n - n/2, Detected: n / 4}}},
+		},
+		Complete: true,
+		Universe: []ClassTally{{Class: 0, Total: n, Detected: n/2 + n/4}},
+		Bits:     make([]uint64, (hi+63)/64),
+	}
+	// Detection is a pure function of the absolute universe index, so
+	// the union of partition bitmaps equals the full run's bitmap.
+	for i := lo; i < hi; i++ {
+		if i%4 != 3 { // 3 of every 4 detected = n/2 + n/4
+			s.Bits[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	return s
+}
+
+func fullState(n int64) *State {
+	s := partitionState(0, n)
+	s.PartitionLo, s.PartitionHi = 0, -1
+	return s
+}
+
+func TestMergeReassemblesPartitions(t *testing.T) {
+	const n = 300
+	parts := []*State{partitionState(0, 100), partitionState(100, 200), partitionState(200, n)}
+	// Shuffle the input order: merge must sort by range.
+	got, err := Merge([]*State{parts[2], parts[0], parts[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UniverseN != n || !got.Complete {
+		t.Fatalf("merged UniverseN=%d Complete=%v, want %d true", got.UniverseN, got.Complete, n)
+	}
+	if _, _, partitioned := got.PartitionRange(); partitioned {
+		t.Fatal("merged state still marked as a partition")
+	}
+	want := fullState(n)
+	if !reflect.DeepEqual(got.Done, want.Done) {
+		t.Fatalf("merged stage records diverge:\n got %+v\nwant %+v", got.Done, want.Done)
+	}
+	if !reflect.DeepEqual(got.Universe, want.Universe) {
+		t.Fatalf("merged universe tallies diverge: got %+v want %+v", got.Universe, want.Universe)
+	}
+	if !bytes.Equal(got.Encode(), want.Encode()) {
+		t.Fatal("merged state does not encode byte-identical to the single-process state")
+	}
+}
+
+func TestMergeSingleFullInput(t *testing.T) {
+	want := fullState(128)
+	got, err := Merge([]*State{want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), want.Encode()) {
+		t.Fatal("merging a single complete run did not reproduce it byte-identically")
+	}
+}
+
+func TestMergeRefusals(t *testing.T) {
+	mk := func() []*State {
+		return []*State{partitionState(0, 100), partitionState(100, 200), partitionState(200, 300)}
+	}
+	cases := []struct {
+		name string
+		mut  func([]*State) []*State
+		want error
+	}{
+		{"incomplete input", func(s []*State) []*State { s[1].Complete = false; return s }, ErrMergeIncomplete},
+		{"spec hash mismatch", func(s []*State) []*State { s[2].SpecHash++; return s }, ErrMergeSpec},
+		{"seed mismatch", func(s []*State) []*State { s[1].Seed = 8; return s }, ErrMergeSpec},
+		{"geometry mismatch", func(s []*State) []*State { s[0].Size = 256; return s }, ErrMergeSpec},
+		{"width mismatch", func(s []*State) []*State { s[0].Width = 4; return s }, ErrMergeSpec},
+		{"stage names diverged", func(s []*State) []*State {
+			s[1].StageNames = []string{"MATS+", "March B"}
+			s[1].Done[1].Runner = "March B"
+			return s
+		}, ErrMergeStages},
+		{"stage order diverged", func(s []*State) []*State {
+			s[2].StageNames = []string{"March C-", "MATS+"}
+			s[2].Done[0], s[2].Done[1] = s[2].Done[1], s[2].Done[0]
+			return s
+		}, ErrMergeStages},
+		{"runner binding diverged", func(s []*State) []*State { s[1].Done[0].RunnerIndex = 5; return s }, ErrMergeStages},
+		{"overlapping ranges", func(s []*State) []*State {
+			return []*State{s[0], partitionState(50, 150), s[2]}
+		}, ErrMergeOverlap},
+		{"duplicate range", func(s []*State) []*State { return []*State{s[0], s[0], s[1], s[2]} }, ErrMergeOverlap},
+		{"gap between ranges", func(s []*State) []*State { return []*State{s[0], s[2]} }, ErrMergeGap},
+		{"missing leading range", func(s []*State) []*State { return []*State{s[1], s[2]} }, ErrMergeGap},
+		{"no inputs", func(s []*State) []*State { return nil }, ErrMergeGap},
+		{"universe count disagrees with range", func(s []*State) []*State { s[1].UniverseN = 99; return s }, ErrMergeGap},
+	}
+	for _, tc := range cases {
+		if _, err := Merge(tc.mut(mk())); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// The corrupted-partition sweep: every single-bit flip of an encoded
+// partition checkpoint must be rejected at Decode — a corrupt
+// partition can never silently contribute wrong bits to a merge.
+func TestPartitionDecodeRejectsCorruption(t *testing.T) {
+	b := partitionState(100, 200).Encode()
+	if _, err := Decode(b); err != nil {
+		t.Fatalf("pristine partition state rejected: %v", err)
+	}
+	step := 1
+	if testing.Short() {
+		step = 7
+	}
+	for i := 0; i < len(b)*8; i += step {
+		mut := append([]byte(nil), b...)
+		mut[i/8] ^= 1 << (uint(i) % 8)
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	for cut := 0; cut < len(b); cut += step {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestPartitionRangeRoundTrip(t *testing.T) {
+	p := partitionState(100, 200)
+	b, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, partitioned := b.PartitionRange()
+	if !partitioned || lo != 100 || hi != 200 {
+		t.Fatalf("PartitionRange = (%d,%d,%v), want (100,200,true)", lo, hi, partitioned)
+	}
+	f, err := Decode(fullState(300).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, partitioned = f.PartitionRange()
+	if partitioned || lo != 0 || hi != 300 {
+		t.Fatalf("full PartitionRange = (%d,%d,%v), want (0,300,false)", lo, hi, partitioned)
+	}
+}

@@ -171,6 +171,63 @@ func DefaultContext() context.Context {
 	return context.Background()
 }
 
+// SinkMode selects the streaming chunk-sink discipline of a Plan.
+type SinkMode int
+
+const (
+	// SinkAuto picks per session: ordered whenever something needs the
+	// serialized, order-capable sink (checkpointing, KeepVectors, a
+	// live progress callback), unordered otherwise.
+	SinkAuto SinkMode = iota
+	// SinkOrdered forces the serialized ChunkSink path.
+	SinkOrdered
+	// SinkUnordered forces per-worker sinks merged at drain — the
+	// lock-free path.  Incompatible with checkpointing and KeepVectors
+	// (both need ordered delivery); non-compiled stages (bitpar,
+	// oracle — the reference paths) still run ordered.
+	SinkUnordered
+)
+
+// String implements fmt.Stringer with the /metrics label values.
+func (m SinkMode) String() string {
+	switch m {
+	case SinkOrdered:
+		return "ordered"
+	case SinkUnordered:
+		return "unordered"
+	}
+	return "auto"
+}
+
+// defaultPartition packs the ambient partition spec (index<<32|count)
+// of streaming sessions whose plan leaves PartitionCount unset — the
+// faultcov -partition flag.  Zero means unpartitioned.
+//
+//faultsim:ambient audited ambient-default hook: installed once by the CLI, read by streaming sessions, cleared by SetDefaultPartition(0, 0)
+var defaultPartition atomic.Uint64
+
+// SetDefaultPartition restricts subsequently executed streaming
+// sessions to universe partition index of count (1-based; count <= 0
+// clears the restriction).  Materialized sessions are unaffected.
+// Panics unless 1 <= index <= count.
+func SetDefaultPartition(index, count int) {
+	if count <= 0 {
+		defaultPartition.Store(0)
+		return
+	}
+	if index < 1 || index > count {
+		panic(fmt.Sprintf("coverage: partition index %d outside [1, %d]", index, count))
+	}
+	defaultPartition.Store(uint64(index)<<32 | uint64(uint32(count)))
+}
+
+// DefaultPartition returns the ambient partition spec ((0, 0) when
+// unpartitioned).
+func DefaultPartition() (index, count int) {
+	v := defaultPartition.Load()
+	return int(v >> 32), int(uint32(v))
+}
+
 // collapseOff disables structural fault collapsing on the compiled
 // engine; the zero value means collapsing is on.
 var collapseOff atomic.Bool
@@ -276,6 +333,19 @@ type EngineStats struct {
 	// contention: if its share of Elapsed grows with the worker count,
 	// the serialized sink is the scaling bottleneck.
 	KernelTime, SinkWait, SourceWait []time.Duration
+	// Sink labels the streaming sink discipline the stage ran under —
+	// "ordered" (serialized ChunkSink) or "unordered" (per-worker
+	// sinks merged at drain); empty for materialized stages.
+	Sink string
+	// MergeNanos is the time spent folding the per-worker unordered
+	// sinks into the session accumulators after the drivers drained
+	// (unordered stages only) — the unordered path's whole
+	// serialization cost, paid once per stage instead of once per
+	// chunk.
+	MergeNanos time.Duration
+	// PartitionIndex is the 1-based index of the universe partition
+	// this session ran (0 when the session spanned the full universe).
+	PartitionIndex int
 }
 
 // SinkWaitShares returns each worker's sink-wait time as a fraction of

@@ -155,11 +155,20 @@ func (p *Plan) specHash() uint64 {
 
 // validateResume checks a loaded state against the resuming session's
 // identity.  A nil return means the state describes this exact
-// campaign and can be applied.
-func validateResume(rs *checkpoint.State, spec uint64, size, width int, seed int64, names []string) error {
+// campaign (including its partition range [partLo, partHi); -1 for
+// unpartitioned) and can be applied.
+func validateResume(rs *checkpoint.State, spec uint64, size, width int, seed int64, names []string, partLo, partHi int) error {
 	if !rs.Matches(spec, size, width, seed) {
 		return fmt.Errorf("coverage: checkpoint %q was written by a different campaign "+
 			"(spec/geometry/seed mismatch: file has %dx%d seed %d)", rs.Label, rs.Size, rs.Width, rs.Seed)
+	}
+	fileLo, fileHi := rs.PartitionLo, rs.PartitionHi
+	if fileHi < 0 {
+		fileLo, fileHi = 0, -1
+	}
+	if fileLo != int64(partLo) || fileHi != int64(partHi) {
+		return fmt.Errorf("coverage: checkpoint %q covers universe range [%d, %d), this session runs [%d, %d) (partition mismatch)",
+			rs.Label, fileLo, fileHi, partLo, partHi)
 	}
 	if len(rs.StageNames) != len(names) {
 		return fmt.Errorf("coverage: checkpoint %q has %d stages, plan has %d", rs.Label, len(rs.StageNames), len(names))
@@ -188,7 +197,13 @@ func validateResume(rs *checkpoint.State, spec uint64, size, width int, seed int
 // treating a mismatched explicit Resume as a programmer error).
 func (p *Plan) ValidateResume(rs *checkpoint.State, seed int64) error {
 	spec, size, width, names := p.PlanIdentity()
-	return validateResume(rs, spec, size, width, seed, names)
+	partLo, partHi := 0, -1
+	if idx, cnt := p.partitionSpec(); cnt > 0 {
+		if n, exact := p.Stream.Source.Count(); exact {
+			partLo, partHi = fault.PartitionRange(n, idx-1, cnt)
+		}
+	}
+	return validateResume(rs, spec, size, width, seed, names, partLo, partHi)
 }
 
 // pendingChunk is one out-of-order chunk parked in the reorder buffer:

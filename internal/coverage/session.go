@@ -143,6 +143,25 @@ type Plan struct {
 	// falls back to the process default (SetDefaultCheckpoint).
 	// Materialized sessions ignore it.
 	Checkpoint *CheckpointConfig
+	// Sink selects the streaming chunk-sink discipline: SinkAuto (the
+	// zero value) runs unordered whenever nothing needs ordering — no
+	// checkpoint, no KeepVectors, no live progress callback — and
+	// ordered otherwise; SinkOrdered/SinkUnordered force a path.  The
+	// two paths are property-tested to produce identical Results; the
+	// unordered one removes the serialized sink's contention (see
+	// sim.ShardsCompiledUnordered).  Materialized sessions ignore it.
+	Sink SinkMode
+	// PartitionIndex/PartitionCount restrict a streaming session to
+	// one index-range partition of its universe — partition
+	// PartitionIndex (1-based) of PartitionCount near-equal ranges
+	// (fault.PartitionRange).  The session then enumerates only that
+	// subrange, its results tally only those faults, and its
+	// checkpoints record the covered range for checkpoint.Merge.
+	// PartitionCount <= 0 defers to the process default
+	// (SetDefaultPartition).  Requires an exact-Count source and is
+	// incompatible with KeepVectors; materialized sessions are never
+	// partitioned.
+	PartitionIndex, PartitionCount int
 }
 
 // StageStat reports one executed stage, in execution order.

@@ -103,6 +103,29 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 	src := p.Stream.Source
 	count, exactCount := src.Count() // capacity hint; bitmaps grow if it is low
 
+	// Partitioning: restrict the session to universe indices
+	// [partLo, partHi).  Delivered indices stay universe-absolute (the
+	// SubSource view plus cfg.Base), so detection bitmaps and
+	// checkpoints from different partitions OR/merge exactly.
+	partIdx, partCnt := p.partitionSpec()
+	partLo, partHi := 0, -1
+	hiBound := count // bitmap capacity: the highest index this session can touch
+	if partCnt > 0 {
+		if !exactCount {
+			panic(fmt.Sprintf("coverage: partitioning %s requires a source with an exact Count", p.Stream.Name))
+		}
+		if p.KeepVectors {
+			panic("coverage: KeepVectors is incompatible with a partitioned session (vectors span the full universe)")
+		}
+		partLo, partHi = fault.PartitionRange(count, partIdx-1, partCnt)
+		src = fault.SubSource(src, partLo, partHi)
+		count = partHi - partLo
+		// Full word capacity up to partHi, so the last partition's
+		// bitmap words match the unpartitioned run's length and the
+		// merged checkpoint is byte-identical to the single-process one.
+		hiBound = partHi
+	}
+
 	// Stage preparation and ordering are shared with the materialized
 	// executor.  Streamed faults are assumed batch-injectable (checked
 	// per batch by the replay drivers, which fail loudly otherwise).
@@ -135,12 +158,12 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 		}
 		d = newDurable(*cp, spec, mem.Size(), mem.Width())
 		if cp.Resume != nil {
-			if err := validateResume(cp.Resume, spec, mem.Size(), mem.Width(), cp.Seed, names); err != nil {
+			if err := validateResume(cp.Resume, spec, mem.Size(), mem.Width(), cp.Seed, names, partLo, partHi); err != nil {
 				panic(err.Error())
 			}
 			rs = cp.Resume
 		} else if amb := ambientResume.Load(); amb != nil {
-			if validateResume(amb, spec, mem.Size(), mem.Width(), cp.Seed, names) == nil &&
+			if validateResume(amb, spec, mem.Size(), mem.Width(), cp.Seed, names, partLo, partHi) == nil &&
 				ambientResume.CompareAndSwap(amb, nil) {
 				rs = amb
 			}
@@ -151,7 +174,28 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 	if p.KeepVectors {
 		s.Vectors = make([][]Verdict, len(p.Runners))
 	}
-	cum := fault.NewBitSet(count)
+	// Sink discipline for this session's compiled streaming stages:
+	// anything needing ordered delivery (checkpoint prefix cuts,
+	// verdict vectors, a live progress frontier) keeps the serialized
+	// sink; otherwise per-worker sinks merged at drain.
+	reg0 := telemetry.Active()
+	sinkMode := p.Sink
+	if sinkMode == SinkAuto {
+		if d != nil || p.KeepVectors || reg0.ProgressAttached() {
+			sinkMode = SinkOrdered
+		} else {
+			sinkMode = SinkUnordered
+		}
+	} else if sinkMode == SinkUnordered {
+		if d != nil {
+			panic("coverage: the unordered sink cannot checkpoint (durable cuts need ordered delivery)")
+		}
+		if p.KeepVectors {
+			panic("coverage: the unordered sink cannot keep verdict vectors")
+		}
+	}
+
+	cum := fault.NewBitSet(hiBound)
 	cumDetected := 0
 	classTotal := make(map[fault.Class]int)
 	classDet := make(map[fault.Class]int)
@@ -200,19 +244,21 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 	// in-flight stage's partial record (zero between stages).
 	buildState := func(cur checkpoint.StageRecord, highWater int, complete bool) *checkpoint.State {
 		return &checkpoint.State{
-			SpecHash:   d.spec,
-			Seed:       d.cfg.Seed,
-			Size:       d.size,
-			Width:      d.width,
-			Label:      d.cfg.Label,
-			UniverseN:  int64(universeN),
-			StageNames: names,
-			Done:       append([]checkpoint.StageRecord(nil), doneRecs...),
-			Cur:        cur,
-			HighWater:  int64(highWater),
-			Complete:   complete,
-			Universe:   classTallies(classTotal, classDet),
-			Bits:       append([]uint64(nil), cum.Words()...),
+			SpecHash:    d.spec,
+			Seed:        d.cfg.Seed,
+			Size:        d.size,
+			Width:       d.width,
+			PartitionLo: int64(partLo),
+			PartitionHi: int64(partHi),
+			Label:       d.cfg.Label,
+			UniverseN:   int64(universeN),
+			StageNames:  names,
+			Done:        append([]checkpoint.StageRecord(nil), doneRecs...),
+			Cur:         cur,
+			HighWater:   int64(highWater),
+			Complete:    complete,
+			Universe:    classTallies(classTotal, classDet),
+			Bits:        append([]uint64(nil), cum.Words()...),
 		}
 	}
 
@@ -235,7 +281,7 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 			OpsCleanRun:   st.cleanOps,
 			FalsePositive: st.falsePositive,
 		}
-		base := 0
+		base := partLo
 		if rs != nil && si == doneStages && !rs.Complete {
 			// Resuming into this stage: restore its partial tallies and
 			// seek past the contiguous completed prefix.
@@ -307,10 +353,12 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 			sink = d.wrap(sink)
 		}
 		src.Reset()
-		if base > 0 {
-			if skipped := src.Skip(base); skipped != base {
+		if rel := base - partLo; rel > 0 {
+			// Skip is view-relative on a partitioned source; delivered
+			// indices stay absolute via cfg.Base below.
+			if skipped := src.Skip(rel); skipped != rel {
 				panic(fmt.Sprintf("coverage: resume seek of %s to %d stopped at %d — source shorter than the checkpoint's universe",
-					p.Stream.Name, base, skipped))
+					p.Stream.Name, base, partLo+skipped))
 			}
 		}
 		var before telemetry.Snapshot
@@ -320,7 +368,7 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 			// stages already detected (the drop filter); an inexact Count
 			// (or a mid-stage resume) leaves the progress total unknown.
 			total := int64(0)
-			if exactCount && base == 0 {
+			if exactCount && base == partLo {
 				total = int64(count)
 				if stageDrop != nil {
 					total -= int64(cumDetected)
@@ -328,9 +376,25 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 			}
 			reg.BeginStage(st.runner.Name(), total)
 		}
+		// Compiled stages without an ordered-sink requirement run on the
+		// unordered driver: per-worker accumulators, merged below.  The
+		// reference paths (bitpar, oracle) and ordered sessions keep the
+		// serialized sink.
+		useUnordered := sinkMode == SinkUnordered && st.prog != nil
+		if reg != nil {
+			reg.SetSinkMode(useUnordered)
+		}
 		t0 := time.Now() //faultsim:ordered stage wall-clock is telemetry, reported beside the deterministic counts
 		cfg := sim.StreamConfig{Chunk: chunk, Workers: workers, Drop: stageDrop, Base: base, Arenas: arenas}
-		stats, err := p.detectStream(ctx, st, src, cfg, sink)
+		var stats *EngineStats
+		var err error
+		if useUnordered {
+			stats, err = p.detectStreamUnordered(ctx, st, src, cfg, &res,
+				cum, &cumDetected, classTotal, classDet, tallyUniverse)
+		} else {
+			stats, err = p.detectStream(ctx, st, src, cfg, sink)
+		}
+		stats.PartitionIndex = partIdx
 		//faultsim:ordered stage wall-clock is telemetry, reported beside the deterministic counts
 		finishStage(stats, st, res.Total, time.Since(t0), reg, before)
 		res.Stats = stats
@@ -389,12 +453,13 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 			})
 			d.snap = nil
 			if si < len(order)-1 {
-				// Stage-boundary checkpoint: the next stage at high water 0.
+				// Stage-boundary checkpoint: the next stage at its range
+				// start (high water partLo; 0 unpartitioned).
 				next := order[si+1]
 				d.write(buildState(checkpoint.StageRecord{
 					Runner:      next.runner.Name(),
 					RunnerIndex: int32(next.index),
-				}, 0, false))
+				}, partLo, false))
 			}
 		}
 		if reg != nil {
@@ -432,6 +497,114 @@ func (p *Plan) runStream(ctx context.Context) *Session {
 	return s
 }
 
+// partitionSpec resolves the session's partition restriction: the
+// plan's explicit fields win, else the process default
+// (SetDefaultPartition).  (0, 0) means unpartitioned.
+func (p *Plan) partitionSpec() (index, count int) {
+	if p.PartitionCount > 0 {
+		if p.PartitionIndex < 1 || p.PartitionIndex > p.PartitionCount {
+			panic(fmt.Sprintf("coverage: PartitionIndex %d outside [1, %d]", p.PartitionIndex, p.PartitionCount))
+		}
+		return p.PartitionIndex, p.PartitionCount
+	}
+	return DefaultPartition()
+}
+
+// detectStreamUnordered runs one compiled stage on the unordered
+// driver: each worker folds its chunks into a private accumulator
+// (detection bitmap plus class tallies) with no sink lock, and the
+// accumulators are merged into the session state once after the
+// drivers drain.  Sums and bit-ORs are order-insensitive and chunk
+// index ranges are disjoint across workers, so the merged result is
+// byte-identical to the serialized sink's whatever the scheduling —
+// the unordered≡ordered property tests assert exactly that.  The
+// whole serialization cost of the stage is the merge below, reported
+// as EngineStats.MergeNanos.
+func (p *Plan) detectStreamUnordered(ctx context.Context, st *stage, src fault.Source, cfg sim.StreamConfig,
+	res *Result, cum *fault.BitSet, cumDetected *int, classTotal, classDet map[fault.Class]int,
+	tallyUniverse bool) (*EngineStats, error) {
+	nc := len(fault.Classes())
+	type acc struct {
+		det             *fault.BitSet
+		total, detected int
+		byClassTotal    []int // faults presented, by class
+		byClassDet      []int // faults this stage detected, by class
+		byClassNew      []int // first-ever detections, by class (vs the session prefix)
+	}
+	accs := make([]acc, cfg.Workers)
+	sinkFor := func(w int) sim.ChunkSink {
+		a := &accs[w]
+		a.det = fault.NewBitSet(0)
+		a.byClassTotal = make([]int, nc)
+		a.byClassDet = make([]int, nc)
+		a.byClassNew = make([]int, nc)
+		return func(_, _ int, idx []int, faults []fault.Fault, det []bool) {
+			for i, f := range faults {
+				c := int(f.Class())
+				a.byClassTotal[c]++
+				a.total++
+				if det[i] {
+					a.byClassDet[c]++
+					a.detected++
+					u := idx[i]
+					// cum is frozen during an unordered stage (the merge
+					// below is the only writer), so reading it lock-free
+					// here is the exact analogue of the ordered sink's
+					// !cum.Get(u) check — each universe index is presented
+					// at most once per stage.
+					if !cum.Get(u) {
+						a.byClassNew[c]++
+					}
+					a.det.Set(u)
+				}
+			}
+		}
+	}
+	cfg.Collapse = CollapseEnabled()
+	w, reps, err := sim.ShardsCompiledUnordered(ctx, st.prog, src, cfg, sinkFor)
+	if err != nil && ctx.Err() == nil {
+		panic(fmt.Sprintf("coverage: unordered compiled streaming replay of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
+	}
+	t0 := time.Now() //faultsim:ordered merge wall-clock is telemetry, reported beside the deterministic counts
+	for i := range accs {
+		a := &accs[i]
+		if a.det == nil {
+			continue // worker never started (cancelled before sinkFor)
+		}
+		res.Total += a.total
+		res.Detected += a.detected
+		for c := 0; c < nc; c++ {
+			if a.byClassTotal[c] == 0 {
+				continue
+			}
+			fc := fault.Class(c)
+			cs := res.ByClass[fc]
+			cs.Total += a.byClassTotal[c]
+			cs.Detected += a.byClassDet[c]
+			res.ByClass[fc] = cs
+			if tallyUniverse {
+				classTotal[fc] += a.byClassTotal[c]
+			}
+			if a.byClassNew[c] > 0 {
+				classDet[fc] += a.byClassNew[c]
+			}
+		}
+		cum.Or(a.det)
+	}
+	*cumDetected = cum.Count()
+	return &EngineStats{
+		Engine:     EngineCompiled,
+		Workers:    w,
+		Reps:       reps,
+		ProgramOps: st.prog.Ops(),
+		TrimmedOps: st.prog.TrimmedOps(),
+		LaneWords:  st.prog.LaneWords(),
+		FusedOps:   st.prog.FusedOps(),
+		Sink:       SinkUnordered.String(),
+		MergeNanos: time.Since(t0), //faultsim:ordered merge wall-clock is telemetry, reported beside the deterministic counts
+	}, err
+}
+
 // detectStream runs one stage over the source and returns the engine
 // report; verdicts flow to the sink chunk by chunk.  The error is
 // non-nil exactly when ctx was cancelled (a partial run); any other
@@ -452,13 +625,14 @@ func (p *Plan) detectStream(ctx context.Context, st *stage, src fault.Source, cf
 			TrimmedOps: st.prog.TrimmedOps(),
 			LaneWords:  st.prog.LaneWords(),
 			FusedOps:   st.prog.FusedOps(),
+			Sink:       SinkOrdered.String(),
 		}, err
 	case st.tr != nil:
 		w, reps, err := sim.ShardsStream(ctx, st.tr, src, cfg, sink)
 		if err != nil && ctx.Err() == nil {
 			panic(fmt.Sprintf("coverage: bitpar streaming replay of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
 		}
-		return &EngineStats{Engine: EngineBitParallel, Workers: w, Reps: reps}, err
+		return &EngineStats{Engine: EngineBitParallel, Workers: w, Reps: reps, Sink: SinkOrdered.String()}, err
 	default:
 		// Chunked oracle: the generic driver pulls and filters chunks,
 		// the replay closure runs the full algorithm once per fault.
@@ -476,6 +650,6 @@ func (p *Plan) detectStream(ctx context.Context, st *stage, src fault.Source, cf
 		if err != nil && ctx.Err() == nil {
 			panic(fmt.Sprintf("coverage: oracle streaming of %s on %s: %v", st.runner.Name(), p.Stream.Name, err))
 		}
-		return &EngineStats{Engine: EngineOracle, Workers: w, Reps: reps}, err
+		return &EngineStats{Engine: EngineOracle, Workers: w, Reps: reps, Sink: SinkOrdered.String()}, err
 	}
 }

@@ -52,6 +52,21 @@ func (b *BitSet) Count() int {
 	return n
 }
 
+// Or folds other's set bits into b, growing b as needed — the
+// partition-merge primitive: per-worker and per-process detection
+// bitmaps cover disjoint index ranges, so OR is their exact union.
+func (b *BitSet) Or(other *BitSet) {
+	if other == nil {
+		return
+	}
+	for len(b.words) < len(other.words) {
+		b.words = append(b.words, 0)
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
 // Clone returns an independent copy.
 func (b *BitSet) Clone() *BitSet {
 	return &BitSet{words: append([]uint64(nil), b.words...)}

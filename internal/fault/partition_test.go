@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A SubSource must be indistinguishable from slicing the collected
+// stream, and Partition's ranges must tile the universe exactly —
+// including when the k views share one underlying source.
+
+func faultsEqual(a, b []Fault) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSubSourceMatchesSlicing(t *testing.T) {
+	for _, tc := range sourceCases() {
+		total := len(tc.want)
+		ranges := [][2]int{
+			{0, total},
+			{0, 0},
+			{total, total},
+			{0, total / 2},
+			{total / 2, total},
+			{total / 3, 2 * total / 3},
+			{1, total - 1},
+			{0, total + 100}, // clamped to the exact count
+		}
+		for _, r := range ranges {
+			lo, hi := r[0], r[1]
+			if hi < lo {
+				continue
+			}
+			sub := SubSource(tc.src, lo, hi)
+			wantHi := hi
+			if wantHi > total {
+				wantHi = total
+			}
+			want := tc.want[lo:wantHi]
+			if n, exact := sub.Count(); !exact || n != len(want) {
+				t.Errorf("%s[%d:%d): Count = (%d, %v), want (%d, true)",
+					tc.name, lo, hi, n, exact, len(want))
+			}
+			for _, chunk := range []int{1, 7, 4096} {
+				sub.Reset()
+				got := drain(t, sub, chunk)
+				if !faultsEqual(got, want) {
+					t.Errorf("%s[%d:%d) chunk=%d: drained %d faults, want %d (or order differs)",
+						tc.name, lo, hi, chunk, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestSubSourceSkipMatchesNext(t *testing.T) {
+	for _, tc := range sourceCases() {
+		total := len(tc.want)
+		lo, hi := total/4, total-total/4
+		for _, skip := range []int{0, 1, (hi - lo) / 2, hi - lo, hi - lo + 5} {
+			sub := SubSource(tc.src, lo, hi)
+			got := sub.Skip(skip)
+			wantSkip := skip
+			if wantSkip > hi-lo {
+				wantSkip = hi - lo
+			}
+			if got != wantSkip {
+				t.Errorf("%s: Skip(%d) = %d, want %d", tc.name, skip, got, wantSkip)
+			}
+			rest := drain(t, sub, 13)
+			if !faultsEqual(rest, tc.want[lo+wantSkip:hi]) {
+				t.Errorf("%s: stream after Skip(%d) diverges from slice [%d:%d)",
+					tc.name, skip, lo+wantSkip, hi)
+			}
+		}
+	}
+}
+
+func TestSubSourceResetRewinds(t *testing.T) {
+	src := StuckOpenSource(32)
+	sub := SubSource(src, 5, 25)
+	first := drain(t, sub, 7)
+	sub.Reset()
+	second := drain(t, sub, 3)
+	if !faultsEqual(first, second) {
+		t.Fatal("Reset did not rewind the sub-source to its range start")
+	}
+}
+
+func TestPartitionRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000, 12345} {
+		for _, k := range []int{1, 2, 3, 7, 16} {
+			prevHi, min, max := 0, n+1, -1
+			for i := 0; i < k; i++ {
+				lo, hi := PartitionRange(n, i, k)
+				if lo != prevHi {
+					t.Fatalf("n=%d k=%d i=%d: lo=%d, want %d (ranges must tile)", n, k, i, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d k=%d i=%d: hi=%d < lo=%d", n, k, i, hi, lo)
+				}
+				if sz := hi - lo; sz < min {
+					min = sz
+				} else if sz > max {
+					max = sz
+				}
+				if sz := hi - lo; sz > max {
+					max = sz
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d k=%d: ranges end at %d, want %d", n, k, prevHi, n)
+			}
+			if max >= 0 && max-min > 1 {
+				t.Fatalf("n=%d k=%d: partition sizes spread %d..%d, want near-equal", n, k, min, max)
+			}
+		}
+	}
+}
+
+func TestPartitionTilesUniverse(t *testing.T) {
+	for _, tc := range sourceCases() {
+		for _, k := range []int{1, 2, 3, 7} {
+			parts := Partition(tc.src, k)
+			var got []Fault
+			for _, p := range parts {
+				got = append(got, Collect(p)...)
+			}
+			if !faultsEqual(got, tc.want) {
+				t.Errorf("%s k=%d: concatenated partitions diverge from the full stream", tc.name, k)
+			}
+		}
+	}
+}
+
+// Partitions share one underlying source; interleaving pulls across
+// them must still enumerate each range correctly, because SubSource
+// re-seeks on every Next.
+func TestPartitionSharedSourceInterleaved(t *testing.T) {
+	src := NPSFSource(40, 8, 3)
+	want := Collect(src)
+	parts := Partition(src, 3)
+	outs := make([][]Fault, len(parts))
+	done := 0
+	buf := make([]Fault, 5)
+	live := make([]bool, len(parts))
+	for i := range live {
+		live[i] = true
+	}
+	for done < len(parts) {
+		for i, p := range parts {
+			if !live[i] {
+				continue
+			}
+			n, ok := p.Next(buf)
+			outs[i] = append(outs[i], buf[:n]...)
+			if !ok {
+				live[i] = false
+				done++
+			}
+		}
+	}
+	var got []Fault
+	for _, o := range outs {
+		got = append(got, o...)
+	}
+	if !faultsEqual(got, want) {
+		t.Fatal("interleaved pulls over shared-source partitions corrupted the enumeration")
+	}
+}
+
+func TestBitSetOr(t *testing.T) {
+	a, b := NewBitSet(10), NewBitSet(200)
+	a.Set(3)
+	a.Set(9)
+	b.Set(9)
+	b.Set(150)
+	a.Or(b)
+	for _, i := range []int{3, 9, 150} {
+		if !a.Get(i) {
+			t.Errorf("bit %d lost in Or", i)
+		}
+	}
+	if a.Count() != 3 {
+		t.Errorf("Count = %d, want 3", a.Count())
+	}
+	if got, want := len(a.Words()), len(b.Words()); got != want {
+		t.Errorf("Or did not grow the receiver: %d words, want %d", got, want)
+	}
+	a.Or(nil)
+	if a.Count() != 3 {
+		t.Error("Or(nil) mutated the receiver")
+	}
+}

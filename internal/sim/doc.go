@@ -109,6 +109,21 @@
 // keys.  StreamShard exposes the same loop over a caller-supplied
 // replay function (package coverage's chunked oracle).
 //
+// The streaming drivers offer two sink disciplines.  The serialized
+// path (ShardsStream, ShardsCompiledStream, StreamShard) delivers
+// every chunk under one sink mutex — required whenever the sink is
+// order-sensitive across workers, e.g. the checkpoint layer's
+// contiguous prefix cut — and its per-worker lock-wait time is what
+// telemetry reports as sink-wait shares.  ShardsCompiledUnordered
+// instead gives each worker its own sink (a caller-supplied factory),
+// so workers fold verdicts into private accumulators — detection
+// bitmap words, class tallies — with no lock at all, and the caller
+// merges the accumulators once after the drivers drain.  Because
+// chunk index ranges are disjoint and the folds are sums and bit-ORs,
+// the merged result is byte-identical to the serialized path's; the
+// session layer picks the discipline per plan (checkpoint or live
+// progress frontier ⇒ serialized, else unordered).
+//
 // All drivers take a context.Context and cancel cooperatively at
 // batch/chunk granularity: the check is one non-blocking channel
 // receive per claim (free against context.Background's nil Done

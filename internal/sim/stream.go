@@ -19,8 +19,11 @@ import (
 // chunk buffer (plus, on the compiled path, its arena); chunks are
 // claimed from the source under a mutex, replayed as program-width
 // batches (64 machines per lane word), and the per-chunk verdicts
-// handed to a sink callback that
-// the driver serializes, so sinks need no locking of their own.
+// handed to a sink callback.  On the ordered path the driver
+// serializes sink calls behind one mutex, so sinks need no locking of
+// their own; on the unordered path (ShardsCompiledUnordered) each
+// worker owns a private sink and delivers lock-free — the caller
+// merges the per-worker sinks once after the drain.
 // Chunk completion order is scheduling-dependent, but every chunk is
 // keyed by its universe index range, so any order-insensitive sink
 // (tallies, bitmaps) observes deterministic results — and an
@@ -94,7 +97,13 @@ func (c StreamConfig) workerCount() int {
 func StreamShard(ctx context.Context, src fault.Source, cfg StreamConfig,
 	newWorker func() (replay func(batch []fault.Fault, det []uint64) error, done func()),
 	sink ChunkSink) (int, int, error) {
-	return streamShard(ctx, src, cfg, nil, BatchSize, newWorker, sink)
+	return streamShard(ctx, src, cfg, nil, BatchSize, newWorker, sharedSink(sink), true)
+}
+
+// sharedSink adapts a single serialized sink to the per-worker sink
+// factory shape of the generalized driver.
+func sharedSink(sink ChunkSink) func(worker int) ChunkSink {
+	return func(int) ChunkSink { return sink } //faultsim:alloc-ok one closure per drive call
 }
 
 // ShardsStream replays a recorded trace over a streaming universe with
@@ -107,7 +116,7 @@ func ShardsStream(ctx context.Context, tr *Trace, src fault.Source, cfg StreamCo
 			det[0] = mask
 			return err
 		}, nil
-	}, sink)
+	}, sharedSink(sink), true)
 }
 
 // ShardsCompiledStream replays a compiled program over a streaming
@@ -117,6 +126,27 @@ func ShardsStream(ctx context.Context, tr *Trace, src fault.Source, cfg StreamCo
 // representative verdicts expanded back chunk-locally, so collapsing
 // never needs the whole universe in memory either.
 func ShardsCompiledStream(ctx context.Context, p *Program, src fault.Source, cfg StreamConfig, sink ChunkSink) (int, int, error) {
+	return shardsCompiled(ctx, p, src, cfg, sharedSink(sink), true)
+}
+
+// ShardsCompiledUnordered is ShardsCompiledStream without the sink
+// serialization: sinkFor(w) builds one private sink per worker, and
+// each worker delivers its chunks to its own sink with no locking and
+// no cross-worker ordering.  This removes the single-consumer
+// bottleneck of the serialized path (per-worker sink-wait time is
+// identically zero) for campaigns whose sinks are order-insensitive
+// and mergeable — worker-local tallies and detection bitmaps, OR'd
+// together once after the drivers drain.  Within one worker, chunks
+// still arrive in claim order and every claimed index range is
+// delivered exactly once across all sinks, so a merged result is
+// deterministic whatever the scheduling.  Sinks needing a global
+// order (checkpoint prefix cuts, live progress over the frontier)
+// must stay on ShardsCompiledStream.
+func ShardsCompiledUnordered(ctx context.Context, p *Program, src fault.Source, cfg StreamConfig, sinkFor func(worker int) ChunkSink) (int, int, error) {
+	return shardsCompiled(ctx, p, src, cfg, sinkFor, false)
+}
+
+func shardsCompiled(ctx context.Context, p *Program, src fault.Source, cfg StreamConfig, sinkFor func(worker int) ChunkSink, serialize bool) (int, int, error) {
 	var sum *fault.TraceSummary
 	if cfg.Collapse {
 		s := p.Summary()
@@ -128,17 +158,21 @@ func ShardsCompiledStream(ctx context.Context, p *Program, src fault.Source, cfg
 		return func(batch []fault.Fault, det []uint64) error {
 			return p.ReplayInto(a, batch, det)
 		}, func() { arenas.Put(a) }
-	}, sink)
+	}, sinkFor, serialize)
 }
 
 // streamShard is the shared driver; sum non-nil enables per-chunk
 // structural collapsing; batchFaults is the machines per replay pass
-// (the replay function's det buffer gets one word per 64).
+// (the replay function's det buffer gets one word per 64).  sinkFor
+// builds worker w's sink once at worker startup; with serialize the
+// calls across all workers are additionally interlocked behind one
+// mutex (the ordered ChunkSink contract), without it each worker
+// calls its own sink lock-free (the unordered path).
 //
 //faultsim:hotpath
 func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *fault.TraceSummary, batchFaults int,
 	newWorker func() (func([]fault.Fault, []uint64) error, func()),
-	sink ChunkSink) (int, int, error) {
+	sinkFor func(worker int) ChunkSink, serialize bool) (int, int, error) {
 	chunk := cfg.chunkSize()
 	workers := cfg.workerCount()
 	drop := cfg.Drop
@@ -174,6 +208,7 @@ func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *f
 		wg.Add(1)
 		go func(w int) { //faultsim:alloc-ok worker startup: one goroutine and closure per worker
 			defer wg.Done() //faultsim:alloc-ok worker-lifetime defer
+			sink := sinkFor(w)
 			replay, done := newWorker()
 			if done != nil {
 				defer done() //faultsim:alloc-ok worker-lifetime defer
@@ -286,16 +321,25 @@ func streamShard(ctx context.Context, src fault.Source, cfg StreamConfig, sum *f
 				} else {
 					copy(d, rd)
 				}
-				if tw != nil {
-					t0 = time.Now()
+				if serialize {
+					if tw != nil {
+						t0 = time.Now()
+					}
+					sinkMu.Lock()
+					if tw != nil {
+						tl.SinkWaitNanos += uint64(time.Since(t0))
+						t0 = time.Now()
+					}
+					sink(b, n, ids, faults, d)
+					sinkMu.Unlock()
+				} else {
+					// Unordered delivery: worker-private sink, no lock, no
+					// wait — sink-wait time is identically zero by design.
+					if tw != nil {
+						t0 = time.Now()
+					}
+					sink(b, n, ids, faults, d)
 				}
-				sinkMu.Lock()
-				if tw != nil {
-					tl.SinkWaitNanos += uint64(time.Since(t0))
-					t0 = time.Now()
-				}
-				sink(b, n, ids, faults, d)
-				sinkMu.Unlock()
 				if tw != nil {
 					tl.SinkNanos += uint64(time.Since(t0))
 					tl.Chunks++
